@@ -1,0 +1,137 @@
+// Ablation: where the era's traffic models sit between Poisson and
+// measured WAN traffic. Compares, at equal mean rate:
+//   Poisson | 2-state MMPP | heavy-tailed ON/OFF | FULL-TEL (this paper)
+// on the classic burstiness instruments: IDC curves (Fowler & Leland's
+// measure) and the Hurst battery. The paper's thesis in one table: MMPP
+// repairs Poisson at one timescale and fails at the rest; only the
+// heavy-tailed constructions stay bursty across scales.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "src/dist/pareto.hpp"
+#include "src/plot/ascii_plot.hpp"
+#include "src/rng/rng.hpp"
+#include "src/selfsim/hurst_report.hpp"
+#include "src/selfsim/onoff.hpp"
+#include "src/stats/counting.hpp"
+#include "src/stats/descriptive.hpp"
+#include "src/stats/dispersion.hpp"
+#include "src/synth/mmpp.hpp"
+#include "src/synth/telnet_source.hpp"
+
+using namespace wan;
+
+namespace {
+
+std::vector<double> poisson_counts(rng::Rng& rng, double rate,
+                                   std::size_t n_bins, double bin) {
+  std::vector<double> c(n_bins, 0.0);
+  double t = 0.0;
+  const double horizon = static_cast<double>(n_bins) * bin;
+  while (true) {
+    t += -std::log(rng.uniform01_open_below()) / rate;
+    if (t >= horizon) break;
+    c[std::min<std::size_t>(static_cast<std::size_t>(t / bin),
+                            n_bins - 1)] += 1.0;
+  }
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== ablation: Poisson vs MMPP vs ON/OFF vs FULL-TEL ===\n\n");
+  const double bin = 1.0;
+  const std::size_t n_bins = 1 << 16;
+  rng::Rng root(9001);
+
+  std::vector<std::pair<std::string, std::vector<double>>> processes;
+
+  {  // Poisson at 10/s.
+    rng::Rng r = root.child("poisson");
+    processes.push_back({"Poisson", poisson_counts(r, 10.0, n_bins, bin)});
+  }
+  {  // MMPP matched to mean 10/s.
+    rng::Rng r = root.child("mmpp");
+    synth::MmppConfig cfg;
+    cfg.rates = {2.0, 34.0};
+    cfg.mean_sojourns = {30.0, 10.0};  // mean (2*30+34*10)/40 = 10
+    const synth::MmppSource src(cfg);
+    const auto t = src.generate(r, 0.0, static_cast<double>(n_bins) * bin);
+    processes.push_back(
+        {"MMPP", stats::bin_counts(t, 0.0, double(n_bins) * bin, bin)});
+  }
+  {  // Heavy-tailed ON/OFF, thinned to mean ~10/s.
+    rng::Rng r = root.child("onoff");
+    const dist::Pareto on(1.0, 1.4), off(1.0, 1.4);
+    selfsim::OnOffConfig cfg;
+    cfg.n_sources = 20;
+    cfg.rate_on = 1.0;
+    cfg.bin_width = bin;
+    auto counts = selfsim::onoff_aggregate_counts(r, on, off, n_bins, cfg);
+    const double m = stats::mean(counts);
+    for (double& v : counts) v *= 10.0 / std::max(m, 1e-9);
+    processes.push_back({"ON/OFF Pareto", std::move(counts)});
+  }
+  {  // FULL-TEL multiplexed TELNET at matched packet rate.
+    rng::Rng r = root.child("fulltel");
+    synth::TelnetConfig tc;
+    tc.profile = synth::DiurnalProfile::flat();
+    const synth::TelnetSource src(tc);
+    std::vector<double> times;
+    for (int c = 0; c < 12; ++c) {
+      const auto t = src.generate_packet_times(
+          r, 0.0, 80000, synth::InterarrivalScheme::kTcplib);
+      for (double v : t)
+        if (v < static_cast<double>(n_bins) * bin) times.push_back(v);
+    }
+    std::sort(times.begin(), times.end());
+    processes.push_back(
+        {"FULL-TEL", stats::bin_counts(times, 0.0, double(n_bins) * bin,
+                                       bin)});
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  std::vector<plot::Series> idc_series;
+  char glyph = '1';
+  for (const auto& [name, counts] : processes) {
+    const auto curve = stats::idc_curve(counts);
+    const auto report = selfsim::hurst_report(counts);
+    rows.push_back({name, plot::fmt(stats::mean(counts), 3),
+                    plot::fmt(curve.front().index, 3),
+                    plot::fmt(curve.back().index, 4),
+                    plot::fmt(stats::idc_slope(curve), 3),
+                    plot::fmt(report.consensus(), 3)});
+    plot::Series s;
+    s.label = name;
+    s.glyph = glyph++;
+    for (const auto& p : curve) {
+      s.x.push_back(p.t);
+      s.y.push_back(p.index);
+    }
+    idc_series.push_back(std::move(s));
+  }
+
+  std::printf("%s\n",
+              plot::render_table({"model", "mean/bin", "IDC(1)", "IDC(max)",
+                                  "IDC slope", "Hurst consensus"},
+                                 rows)
+                  .c_str());
+
+  plot::AxesConfig axes;
+  axes.log_x = true;
+  axes.log_y = true;
+  axes.title = "IDC curves (log-log): flat = Poisson-like, rising = "
+               "persistent burstiness";
+  axes.x_label = "window (s)";
+  axes.y_label = "IDC";
+  std::printf("%s\n", plot::render(idc_series, axes).c_str());
+
+  std::printf(
+      "reading: Poisson flat at 1; MMPP rises then flattens (its burst "
+      "has one scale);\nON/OFF-Pareto and FULL-TEL keep rising — "
+      "burstiness at every scale, the paper's point.\n");
+  return 0;
+}

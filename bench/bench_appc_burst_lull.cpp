@@ -1,0 +1,56 @@
+// Appendix C reproduction: burst/lull scaling of the i.i.d.-Pareto count
+// process across shapes beta in {2, 1, 1/2} and bin widths:
+//   beta = 2  -> bursts lengthen ~linearly with b (aggregation smooths);
+//   beta = 1  -> bursts lengthen only logarithmically;
+//   beta = 1/2-> burst length constant in b (!);
+//   and for beta <= 1 the lull-length distribution is invariant in b.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/plot/ascii_plot.hpp"
+#include "src/rng/rng.hpp"
+#include "src/selfsim/pareto_renewal.hpp"
+
+using namespace wan;
+
+int main() {
+  std::printf("=== Appendix C: burst/lull scaling of Pareto renewal "
+              "counts ===\n\n");
+
+  for (double beta : {2.0, 1.0, 0.5}) {
+    rng::Rng rng(1800 + static_cast<std::uint64_t>(beta * 10));
+    // beta=2 has finite-mean gaps, so bursts get enormous at large b;
+    // beta=1 generates ~b/ln(b) arrivals per bin. Cap widths and adapt
+    // the bin counts so each cell costs at most ~1e9 samples.
+    const std::vector<double> use_widths =
+        beta > 1.5 ? std::vector<double>{1e1, 1e2, 1e3}
+                   : std::vector<double>{1e2, 1e3, 1e4, 1e5, 1e6, 1e7};
+
+    std::printf("beta = %.1f\n", beta);
+    std::vector<std::vector<std::string>> rows;
+    for (double b : use_widths) {
+      const auto n_bins = static_cast<std::size_t>(std::clamp(
+          2.0e9 / b, 2000.0, 100000.0));
+      const std::vector<double> one = {b};
+      const auto scaling =
+          selfsim::burst_lull_scaling(rng, one, n_bins, 1.0, beta);
+      rows.push_back(
+          {plot::fmt(b, 2), std::to_string(n_bins),
+           plot::fmt(scaling.mean_burst_bins[0], 4),
+           plot::fmt(scaling.mean_lull_bins[0], 4),
+           plot::fmt(selfsim::paper_burst_bins_approx(beta, b, 1.0), 4)});
+    }
+    std::printf("%s\n",
+                plot::render_table({"bin width b", "bins", "mean burst bins",
+                                    "mean lull bins", "paper approx"},
+                                   rows)
+                    .c_str());
+  }
+  std::printf(
+      "expected regimes: beta=2 bursts ~ b; beta=1 bursts ~ log b with "
+      "invariant lulls;\nbeta=1/2 bursts constant — 'the process appears "
+      "self-similar over all time scales'.\n");
+  return 0;
+}

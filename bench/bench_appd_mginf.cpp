@@ -1,0 +1,91 @@
+// Appendix D / E reproduction: the M/G/inf count process.
+//  * Pareto lifetimes (1 < beta < 2): hyperbolic autocovariance
+//    r(k) ~ k^{1-beta} -> asymptotically self-similar, LRD (App. D);
+//  * log-normal lifetimes: long-tailed but summable autocovariance ->
+//    NOT long-range dependent (App. E);
+//  * marginal is Poisson with mean rate * E[lifetime] = p*beta*a/(beta-1).
+#include <cstdio>
+#include <vector>
+
+#include "src/dist/exponential.hpp"
+#include "src/dist/lognormal.hpp"
+#include "src/dist/pareto.hpp"
+#include "src/plot/ascii_plot.hpp"
+#include "src/rng/rng.hpp"
+#include "src/selfsim/mginf.hpp"
+#include "src/stats/autocorr.hpp"
+#include "src/stats/descriptive.hpp"
+#include "src/stats/variance_time.hpp"
+
+using namespace wan;
+
+int main() {
+  std::printf("=== Appendix D/E: M/G/inf count processes ===\n\n");
+
+  // Theoretical autocovariance decay comparison.
+  const dist::Pareto pareto_life(1.0, 1.4);
+  const dist::LogNormal lognormal_life(0.0, 1.5);
+  const dist::Exponential exp_life(2.0);
+  std::printf("autocovariance r(k) = rate * Int_k^inf (1-F) (rate = 1):\n");
+  std::printf("      k     Pareto(1.4)   LogNormal     Exponential\n");
+  for (double k : {1.0, 4.0, 16.0, 64.0, 256.0}) {
+    std::printf("  %6.0f   %10.4f   %10.6f   %12.8f\n", k,
+                selfsim::mginf_autocovariance(pareto_life, 1.0, k),
+                selfsim::mginf_autocovariance(lognormal_life, 1.0, k),
+                selfsim::mginf_autocovariance(exp_life, 1.0, k));
+  }
+  std::printf("\nPareto decays hyperbolically (k^{1-beta}); log-normal "
+              "faster than any power asymptotically;\nexponential "
+              "geometrically.\n\n");
+
+  // Simulated processes: Hurst via variance-time.
+  std::vector<std::vector<std::string>> rows;
+  selfsim::MgInfConfig cfg;
+  cfg.arrival_rate = 4.0;
+  cfg.warmup = 40000.0;
+  struct Case {
+    const char* name;
+    const dist::Distribution* life;
+    double expect_h;
+  };
+  const Case cases[] = {
+      {"Pareto beta=1.2", new dist::Pareto(1.0, 1.2), 0.9},
+      {"Pareto beta=1.4", new dist::Pareto(1.0, 1.4), 0.8},
+      {"Pareto beta=1.8", new dist::Pareto(1.0, 1.8), 0.6},
+      {"LogNormal(0,1.5)", &lognormal_life, 0.5},
+      {"Exponential(2)", &exp_life, 0.5},
+  };
+  for (const Case& c : cases) {
+    rng::Rng rng(1900);
+    const auto x = selfsim::mginf_count_process(rng, *c.life, 1 << 15, cfg);
+    const auto vt = stats::variance_time_plot(x);
+    rows.push_back({c.name, plot::fmt(stats::mean(x), 4),
+                    plot::fmt(stats::variance(x), 4),
+                    plot::fmt(vt.hurst(4, 2000), 3),
+                    plot::fmt(c.expect_h, 2)});
+  }
+  std::printf("%s\n",
+              plot::render_table({"lifetimes", "mean", "variance", "VT H",
+                                  "theory H=(3-b)/2"},
+                                 rows)
+                  .c_str());
+  std::printf("(marginal Poisson => variance ~ mean; H from theory only "
+              "for Pareto cases, else 1/2.)\n\n");
+
+  // M/G/k: Section VII's limited-bandwidth variant.
+  std::printf("--- M/G/k (limited bandwidth) vs M/G/inf, Pareto(1.4) "
+              "lifetimes ---\n");
+  for (std::size_t k : {4, 16, 64}) {
+    rng::Rng rng(1901);
+    selfsim::MgInfConfig kcfg = cfg;
+    kcfg.arrival_rate = 2.0;
+    const auto x =
+        selfsim::mgk_count_process(rng, pareto_life, k, 1 << 14, kcfg);
+    const auto vt = stats::variance_time_plot(x);
+    std::printf("  k = %3zu: mean in system %7.2f, VT H %.3f\n", k,
+                stats::mean(x), vt.hurst(4, 1000));
+  }
+  std::printf("limited capacity delays arrivals but does not erase the "
+              "underlying long-range correlations.\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Figs. 10-11 reproduction: per-minute FTPDATA traffic (bytes/minute)
+// with the contribution of the largest 2% and 0.5% of connection bursts
+// broken out, for LBL-PKT-like (2 h) and DEC-WRL-like (1 h, hotter)
+// synthetic datasets. Paper: the tail bursts dominate whole minutes of
+// traffic; LBL traces (few hundred bursts) show wildly volatile
+// tail shares (15-85%), DEC traces (thousands of bursts) are steadier
+// (18-70%) because large-number laws start to help.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/plot/ascii_plot.hpp"
+#include "src/plot/series_io.hpp"
+#include "src/stats/descriptive.hpp"
+#include "src/synth/synthesizer.hpp"
+#include "src/trace/burst.hpp"
+
+using namespace wan;
+
+namespace {
+
+void analyze(const char* label, const trace::ConnTrace& tr, double t0,
+             double t1) {
+  const auto bursts = trace::find_ftp_bursts(tr, 4.0);
+  if (bursts.size() < 20) {
+    std::printf("%s: too few bursts (%zu)\n", label, bursts.size());
+    return;
+  }
+  // Identify tail bursts by byte volume.
+  std::vector<std::size_t> order(bursts.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return bursts[a].bytes > bursts[b].bytes;
+  });
+  const std::size_t n_half_pct =
+      std::max<std::size_t>(1, bursts.size() / 200);
+  const std::size_t n_two_pct = std::max<std::size_t>(1, bursts.size() / 50);
+  std::vector<int> tier(bursts.size(), 0);
+  std::size_t conns_2pct = 0;
+  for (std::size_t k = 0; k < n_two_pct; ++k) {
+    tier[order[k]] = k < n_half_pct ? 2 : 1;
+    conns_2pct += bursts[order[k]].n_connections;
+  }
+
+  // Per-minute byte series: total, top-2%, top-0.5% (bytes spread evenly
+  // across each burst's span, the resolution the figures use).
+  const auto n_min = static_cast<std::size_t>((t1 - t0) / 60.0);
+  std::vector<double> total(n_min, 0.0), top2(n_min, 0.0), top05(n_min, 0.0);
+  double tail2_bytes = 0.0, tail05_bytes = 0.0, all_bytes = 0.0;
+  for (std::size_t i = 0; i < bursts.size(); ++i) {
+    const auto& b = bursts[i];
+    const double span = std::max(b.end - b.start, 1.0);
+    const double rate = static_cast<double>(b.bytes) / span;
+    all_bytes += static_cast<double>(b.bytes);
+    if (tier[i] >= 1) tail2_bytes += static_cast<double>(b.bytes);
+    if (tier[i] == 2) tail05_bytes += static_cast<double>(b.bytes);
+    for (double t = std::max(b.start, t0); t < std::min(b.end, t1);
+         t += 60.0) {
+      const auto m = static_cast<std::size_t>((t - t0) / 60.0);
+      if (m >= n_min) break;
+      const double seg =
+          std::min({60.0, std::min(b.end, t1) - t});
+      total[m] += rate * seg;
+      if (tier[i] >= 1) top2[m] += rate * seg;
+      if (tier[i] == 2) top05[m] += rate * seg;
+    }
+  }
+
+  std::printf("%s: %zu bursts; upper 2%% = %zu bursts (%zu conns) holding "
+              "%.0f%%; upper 0.5%% = %zu bursts holding %.0f%%\n",
+              label, bursts.size(), n_two_pct, conns_2pct,
+              100.0 * tail2_bytes / all_bytes, n_half_pct,
+              100.0 * tail05_bytes / all_bytes);
+
+  // Compact per-minute strip chart: '#' where the top-0.5% bursts supply
+  // >50% of the minute's bytes, '+' where the top-2% do, '.' otherwise.
+  std::string strip;
+  for (std::size_t m = 0; m < n_min; ++m) {
+    if (total[m] <= 0.0) {
+      strip += ' ';
+    } else if (top05[m] / total[m] > 0.5) {
+      strip += '#';
+    } else if (top2[m] / total[m] > 0.5) {
+      strip += '+';
+    } else {
+      strip += '.';
+    }
+  }
+  std::printf("  minutes [%s]\n", strip.c_str());
+
+  plot::write_columns_csv(std::string("fig10_11_") + label + ".csv",
+                          {"total", "top2pct", "top05pct"},
+                          {total, top2, top05});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figs. 10-11: proportion of FTPDATA traffic due to the "
+              "largest bursts ===\n");
+  std::printf("(legend per minute: '#' top-0.5%% bursts dominate, '+' "
+              "top-2%% dominate, '.' neither)\n\n");
+
+  // LBL-PKT-like: two-hour connection-level windows at LBL rates.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    auto cfg = synth::lbl_conn_preset(
+        "PKT-" + std::to_string(i + 1), 1.0, 111 + i);
+    const auto tr = synth::synthesize_conn_trace(cfg);
+    // Restrict to a 2 h afternoon window.
+    trace::ConnTrace window(tr.name(), 14.0 * 3600.0, 16.0 * 3600.0);
+    for (const auto& r : tr.records()) {
+      if (r.start >= window.t_begin() && r.start < window.t_end())
+        window.add(r);
+    }
+    analyze(("LBL-PKT-" + std::to_string(i + 1)).c_str(), window,
+            window.t_begin(), window.t_end());
+  }
+  std::printf("\n");
+
+  // DEC-WRL-like: hotter site, one-hour windows -> more bursts.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    auto cfg = synth::lbl_conn_preset(
+        "WRL-" + std::to_string(i + 1), 1.0, 121 + i);
+    cfg.ftp.sessions_per_day *= 4.0;  // DEC volume
+    const auto tr = synth::synthesize_conn_trace(cfg);
+    trace::ConnTrace window(tr.name(), 13.0 * 3600.0, 14.0 * 3600.0);
+    for (const auto& r : tr.records()) {
+      if (r.start >= window.t_begin() && r.start < window.t_end())
+        window.add(r);
+    }
+    analyze(("DEC-WRL-" + std::to_string(i + 1)).c_str(), window,
+            window.t_begin(), window.t_end());
+  }
+
+  std::printf("\npaper: LBL 2%%/0.5%% tails held ~50/15%% in two traces and "
+              "85/60%% in the other two\n(volatile, tiny tail samples); "
+              "DEC traces 45-70%% / 18-42%% (steadier).\n");
+  return 0;
+}

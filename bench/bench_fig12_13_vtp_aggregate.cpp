@@ -1,0 +1,103 @@
+// Figs. 12-13 reproduction: variance-time plots of aggregate wide-area
+// packet arrivals — all-TCP and all-link LBL-PKT-like traces (base bin
+// 0.01 s, as in the paper) and DEC-WRL-like traces. Paper: the full
+// link-level traces yield straight shallow lines (consistent with
+// asymptotic self-similarity for M >= 10, i.e. 0.1 s); TCP-only traces
+// are less uniform (concave stretches), but all decay far more slowly
+// than slope -1.
+#include <cstdio>
+#include <vector>
+
+#include "src/plot/ascii_plot.hpp"
+#include "src/plot/series_io.hpp"
+#include "src/stats/counting.hpp"
+#include "src/stats/variance_time.hpp"
+#include "src/synth/synthesizer.hpp"
+
+using namespace wan;
+
+namespace {
+
+void analyze(const char* label, const trace::PacketTrace& tr,
+             std::vector<plot::Series>* series, char glyph) {
+  const auto counts =
+      stats::bin_counts(tr.packet_times(), tr.t_begin(), tr.t_end(), 0.01);
+  const auto vt = stats::variance_time_plot(counts);
+  plot::Series s;
+  s.label = std::string(label) + " (" + std::to_string(tr.size()) + " pkts)";
+  s.glyph = glyph;
+  for (const auto& p : vt.points) {
+    s.x.push_back(static_cast<double>(p.m));
+    s.y.push_back(p.normalized);
+  }
+  series->push_back(std::move(s));
+  const auto fit = vt.fit_slope(10, 100000);
+  std::printf("  %-12s packets %8zu  slope(M>=10) %+6.3f  implied H %.3f"
+              "  r2 %.3f\n",
+              label, tr.size(), fit.slope, 1.0 + fit.slope / 2.0, fit.r2);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 12: LBL-PKT-like aggregate variance-time "
+              "(0.01 s base bins) ===\n\n");
+  std::vector<plot::Series> lbl_series;
+  {
+    auto cfg = synth::lbl_pkt_preset("PKT-1", true, 131);
+    cfg.hours = 1.0;  // keep the bench quick; same structure
+    analyze("PKT-1 (TCP)", synth::synthesize_packet_trace(cfg), &lbl_series,
+            'o');
+  }
+  {
+    auto cfg = synth::lbl_pkt_preset("PKT-2", true, 132);
+    cfg.hours = 1.0;
+    analyze("PKT-2 (TCP)", synth::synthesize_packet_trace(cfg), &lbl_series,
+            'x');
+  }
+  {
+    auto cfg = synth::lbl_pkt_preset("PKT-4", false, 134);
+    analyze("PKT-4 (ALL)", synth::synthesize_packet_trace(cfg), &lbl_series,
+            '+');
+  }
+  {
+    auto cfg = synth::lbl_pkt_preset("PKT-5", false, 135);
+    analyze("PKT-5 (ALL)", synth::synthesize_packet_trace(cfg), &lbl_series,
+            '*');
+  }
+  plot::AxesConfig axes;
+  axes.log_x = true;
+  axes.log_y = true;
+  axes.title = "\nFig.12 variance-time, LBL-PKT-like";
+  axes.x_label = "aggregation level M (x0.01 s)";
+  axes.y_label = "normalized variance";
+  std::printf("%s\n", plot::render(lbl_series, axes).c_str());
+
+  std::printf("=== Fig. 13: DEC-WRL-like aggregate variance-time ===\n\n");
+  std::vector<plot::Series> dec_series;
+  char glyph = '1';
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    auto cfg = synth::dec_wrl_pkt_preset("WRL-" + std::to_string(i + 1),
+                                         141 + i);
+    analyze(("WRL-" + std::to_string(i + 1)).c_str(),
+            synth::synthesize_packet_trace(cfg), &dec_series, glyph++);
+  }
+  axes.title = "\nFig.13 variance-time, DEC-WRL-like";
+  std::printf("%s\n", plot::render(dec_series, axes).c_str());
+
+  // CSV of the last analysis set.
+  std::vector<std::string> names;
+  std::vector<std::vector<double>> cols;
+  for (const auto& s : dec_series) {
+    names.push_back(s.label + "_m");
+    cols.push_back(s.x);
+    names.push_back(s.label + "_v");
+    cols.push_back(s.y);
+  }
+  plot::write_columns_csv("fig13_vtp_dec.csv", names, cols);
+
+  std::printf("paper: all traces decay much more slowly than slope -1 at "
+              "M >= 10;\nfull link-level traces are the straightest "
+              "(H ~ 0.8+); FTP-burst-dominated traces wobble.\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figs. 14-15 reproduction: the count process of i.i.d. Pareto(beta = 1,
+// a = 1) interarrivals, 1000 bins, at bin width b = 10^3 (Fig. 14) and
+// b = 10^7 (Fig. 15), nine seeds each. The paper's point: to the eye the
+// two aggregation levels look alike ("visual self-similarity") — bursts
+// grow only slightly (paper: x2.6 mean burst bins) while lull lengths
+// are essentially invariant (x1.2).
+#include <cstdio>
+#include <vector>
+
+#include "src/plot/series_io.hpp"
+#include "src/rng/rng.hpp"
+#include "src/selfsim/pareto_renewal.hpp"
+#include "src/stats/counting.hpp"
+#include "src/stats/descriptive.hpp"
+
+using namespace wan;
+
+namespace {
+
+// Strip rendering: 100 chars summarizing 1000 bins (10 bins per char);
+// density glyphs by occupancy.
+std::string strip(const std::vector<double>& counts) {
+  std::string out(100, ' ');
+  for (std::size_t g = 0; g < 100; ++g) {
+    double occupied = 0.0;
+    for (std::size_t i = g * 10; i < (g + 1) * 10 && i < counts.size(); ++i)
+      occupied += counts[i] > 0.0 ? 1.0 : 0.0;
+    const char glyphs[] = " .:|#";
+    out[g] = glyphs[static_cast<std::size_t>(occupied / 10.0 * 4.0)];
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Figs. 14-15: i.i.d. Pareto(beta=1) count process at "
+              "bin widths 10^3 and 10^7 ===\n\n");
+
+  for (double b : {1e3, 1e7}) {
+    std::printf("--- bin width b = %.0e (1000 bins per seed) ---\n", b);
+    double mean_burst = 0.0, mean_lull = 0.0;
+    int rows = 0;
+    for (std::uint64_t seed = 1; seed <= 9; ++seed) {
+      rng::Rng rng(1500 + seed);
+      selfsim::ParetoRenewalConfig cfg;
+      cfg.location = 1.0;
+      cfg.shape = 1.0;
+      cfg.bin_width = b;
+      const auto counts = selfsim::pareto_renewal_counts(rng, 1000, cfg);
+      std::printf("  seed %llu [%s]\n",
+                  static_cast<unsigned long long>(seed),
+                  strip(counts).c_str());
+      const auto bl = stats::burst_lull_structure(counts);
+      mean_burst += bl.mean_burst_bins();
+      mean_lull += bl.mean_lull_bins();
+      ++rows;
+      if (seed == 1) {
+        plot::write_columns_csv(
+            b < 1e5 ? "fig14_counts_b1e3.csv" : "fig15_counts_b1e7.csv",
+            {"count"}, {counts});
+      }
+    }
+    std::printf("  mean burst %.2f bins, mean lull %.2f bins (averaged "
+                "over 9 seeds)\n\n",
+                mean_burst / rows, mean_lull / rows);
+  }
+
+  // The Appendix C quantitative claims. (Bin width 1e7 means ~4e5
+  // arrivals *per bin*, so the sample is kept to a few thousand bins.)
+  rng::Rng rng(1600);
+  const std::vector<double> widths = {1e3, 1e7};
+  const auto scaling =
+      selfsim::burst_lull_scaling(rng, widths, 3000, 1.0, 1.0);
+  std::printf("Appendix C scaling over 3x10^3 bins:\n");
+  std::printf("  burst growth (b 1e3 -> 1e7): x%.2f (paper observed x2.6; "
+              "log growth predicts x%.2f)\n",
+              scaling.mean_burst_bins[1] / scaling.mean_burst_bins[0],
+              selfsim::paper_burst_bins_approx(1.0, 1e7, 1.0) /
+                  selfsim::paper_burst_bins_approx(1.0, 1e3, 1.0));
+  std::printf("  lull-length ratio: x%.2f (paper observed x1.2 — "
+              "'virtually the same')\n",
+              scaling.mean_lull_bins[1] / scaling.mean_lull_bins[0]);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig. 2 reproduction: for each protocol of each (synthetic) connection
+// trace, the percentage of 1-hour and 10-minute intervals passing the
+// Appendix-A exponentiality and independence tests, with the aggregate
+// Poisson/not-Poisson verdict (bold letters in the paper) and the +/-
+// consistent-correlation annotation.
+//
+// Paper expectations: TELNET and FTP-session arrivals Poisson at both
+// interval lengths; SMTP and FTPDATA-bursts "not terribly far" at 10
+// minutes; NNTP, FTPDATA and WWW decidedly not Poisson.
+#include <cstdio>
+#include <vector>
+
+#include "src/core/poisson_report.hpp"
+#include "src/synth/synthesizer.hpp"
+
+using namespace wan;
+
+int main() {
+  std::vector<trace::ConnTrace> traces;
+  traces.push_back(synth::synthesize_conn_trace(
+      synth::lbl_conn_preset("LBL-A", 2.0, 31)));
+  traces.push_back(synth::synthesize_conn_trace(
+      synth::lbl_conn_preset("LBL-B", 2.0, 32)));
+  traces.push_back(synth::synthesize_conn_trace(
+      synth::small_site_conn_preset("UK", 2.0, 33)));
+
+  for (double interval : {3600.0, 600.0}) {
+    std::printf("=== Fig. 2 (%s intervals) ===\n\n",
+                interval == 3600.0 ? "1-hour" : "10-minute");
+    std::vector<core::ProtocolVerdict> all;
+    for (const auto& tr : traces) {
+      core::PoissonReportConfig cfg;
+      cfg.interval_length = interval;
+      auto rows = core::poisson_report(tr, cfg);
+      all.insert(all.end(), rows.begin(), rows.end());
+    }
+    std::printf("%s\n", core::render_poisson_report(all).c_str());
+
+    // Aggregate verdict per protocol across traces.
+    std::printf("verdict summary:\n");
+    for (const char* label :
+         {"TELNET", "RLOGIN", "FTP", "SMTP", "NNTP", "FTPDATA",
+          "FTPDATA-burst", "WWW", "X11"}) {
+      int poisson = 0, total = 0;
+      for (const auto& v : all) {
+        if (v.label == label) {
+          ++total;
+          poisson += v.result.poisson ? 1 : 0;
+        }
+      }
+      if (total == 0) continue;
+      std::printf("  %-14s %d/%d traces statistically Poisson\n", label,
+                  poisson, total);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "paper: TELNET & FTP sessions pass at both lengths; NNTP, FTPDATA,\n"
+      "WWW, X11 fail; burst-coalescing improves FTPDATA only somewhat.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Fig. 3 reproduction: empirical CDFs of TELNET packet interarrival
+// times — the Tcplib reconstruction vs. a synthetic LBL-PKT trace's
+// measured interarrivals vs. two exponential fits (geometric-mean "fit
+// #1" and arithmetic-mean "fit #2"), on a log time axis.
+//
+// Paper facts reproduced numerically below the plot: the exponential
+// fitted to the geometric mean badly overpredicts sub-8 ms gaps and
+// underpredicts >1 s gaps; the data has <2% below 8 ms and >15% above
+// 1 s.
+#include <cstdio>
+#include <vector>
+
+#include "src/dist/exponential.hpp"
+#include "src/dist/tcplib.hpp"
+#include "src/plot/ascii_plot.hpp"
+#include "src/plot/series_io.hpp"
+#include "src/stats/descriptive.hpp"
+#include "src/stats/ecdf.hpp"
+#include "src/synth/telnet_source.hpp"
+
+using namespace wan;
+
+int main() {
+  // "Measured" interarrivals: within-connection gaps of a synthetic
+  // 2-hour TELNET packet trace (FULL-TEL with Tcplib gaps plays the role
+  // of the LBL PKT-1 data).
+  synth::TelnetConfig tc;
+  tc.profile = synth::DiurnalProfile::flat();
+  tc.conns_per_day = 3600.0;
+  const synth::TelnetSource src(tc);
+  rng::Rng rng(41);
+  const auto conns = src.generate_connections(
+      rng, 0.0, 7200.0, synth::InterarrivalScheme::kTcplib);
+  std::vector<double> gaps;
+  for (const auto& c : conns) {
+    for (std::size_t i = 1; i < c.packet_times.size(); ++i)
+      gaps.push_back(c.packet_times[i] - c.packet_times[i - 1]);
+  }
+  std::printf("=== Fig. 3: TELNET packet interarrival CDFs ===\n");
+  std::printf("measured gaps: %zu (from %zu connections)\n\n", gaps.size(),
+              conns.size());
+
+  const dist::TcplibTelnetInterarrival tcplib;
+  const double geo_mean = stats::geometric_mean(gaps);
+  const double arith_mean = stats::mean(gaps);
+  const dist::Exponential exp_geo(geo_mean);
+  const dist::Exponential exp_arith(arith_mean);
+  const stats::Ecdf measured(gaps);
+
+  std::printf("geometric mean %.4f s, arithmetic mean %.3f s\n\n", geo_mean,
+              arith_mean);
+
+  std::vector<plot::Series> series(4);
+  series[0] = {"Tcplib (reconstruction)", 'T', {}, {}};
+  series[1] = {"synthetic trace", 'm', {}, {}};
+  series[2] = {"exp fit #1 (geo mean)", '1', {}, {}};
+  series[3] = {"exp fit #2 (arith mean)", '2', {}, {}};
+
+  std::vector<std::vector<double>> cols(5);
+  for (double x = 0.001; x <= 100.0; x *= 1.25) {
+    cols[0].push_back(x);
+    series[0].x.push_back(x);
+    series[0].y.push_back(tcplib.cdf(x));
+    cols[1].push_back(tcplib.cdf(x));
+    series[1].x.push_back(x);
+    series[1].y.push_back(measured(x));
+    cols[2].push_back(measured(x));
+    series[2].x.push_back(x);
+    series[2].y.push_back(exp_geo.cdf(x));
+    cols[3].push_back(exp_geo.cdf(x));
+    series[3].x.push_back(x);
+    series[3].y.push_back(exp_arith.cdf(x));
+    cols[4].push_back(exp_arith.cdf(x));
+  }
+
+  plot::AxesConfig axes;
+  axes.log_x = true;
+  axes.title = "CDF of interarrival time (x log scale, seconds)";
+  axes.x_label = "seconds";
+  axes.y_label = "P[X <= x]";
+  std::printf("%s\n", plot::render(series, axes).c_str());
+  plot::write_columns_csv(
+      "fig3_interarrival_cdf.csv",
+      {"x", "tcplib", "trace", "exp_geo", "exp_arith"}, cols);
+
+  // The paper's quantitative contrasts.
+  std::printf("                         below 8ms    above 1s\n");
+  std::printf("  measured trace         %6.2f%%     %6.2f%%\n",
+              100.0 * measured(0.008), 100.0 * (1.0 - measured(1.0)));
+  std::printf("  Tcplib reconstruction  %6.2f%%     %6.2f%%\n",
+              100.0 * tcplib.cdf(0.008), 100.0 * tcplib.tail(1.0));
+  std::printf("  exp fit #1 (geo)       %6.2f%%     %6.2f%%\n",
+              100.0 * exp_geo.cdf(0.008), 100.0 * exp_geo.tail(1.0));
+  std::printf("  exp fit #2 (arith)     %6.2f%%     %6.2f%%\n",
+              100.0 * exp_arith.cdf(0.008), 100.0 * exp_arith.tail(1.0));
+  std::printf(
+      "\npaper: data <2%% below 8 ms and >15%% above 1 s; exponential fits\n"
+      "grossly mispredict both tails. Body Pareto beta = 0.9; upper 3%%\n"
+      "tail beta ~ 0.95 (cf. our reconstruction parameters).\n");
+  return 0;
+}

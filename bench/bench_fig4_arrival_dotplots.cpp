@@ -1,0 +1,81 @@
+// Fig. 4 reproduction: packet arrivals of two simulated 2000-second
+// TELNET connections — one with i.i.d. Tcplib interpacket times, one
+// with i.i.d. exponential (mean 1.1 s) — viewed over the first 200 s and
+// over the full 2000 s. The paper generated 1,926 Tcplib and 2,204
+// exponential arrivals; the Tcplib row is dramatically more clustered at
+// both time scales.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/dist/exponential.hpp"
+#include "src/dist/tcplib.hpp"
+#include "src/plot/series_io.hpp"
+#include "src/rng/rng.hpp"
+#include "src/stats/counting.hpp"
+#include "src/stats/descriptive.hpp"
+#include "src/synth/arrivals.hpp"
+
+using namespace wan;
+
+namespace {
+
+// One text row of arrival dots: 100 columns spanning [0, horizon).
+std::string dot_row(const std::vector<double>& times, double horizon) {
+  std::string row(100, ' ');
+  for (double t : times) {
+    if (t < 0.0 || t >= horizon) continue;
+    const auto col = static_cast<std::size_t>(t / horizon * 100.0);
+    row[std::min<std::size_t>(col, 99)] = '.';
+  }
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  rng::Rng rng(4242);
+  const dist::TcplibTelnetInterarrival tcplib;
+  const dist::Exponential expo(1.1);
+
+  rng::Rng r1 = rng.child("tcplib");
+  rng::Rng r2 = rng.child("exp");
+  const auto t_tcplib = synth::renewal_arrivals(r1, tcplib, 0.0, 2000.0);
+  const auto t_exp = synth::renewal_arrivals(r2, expo, 0.0, 2000.0);
+
+  std::printf("=== Fig. 4: arrivals of two simulated TELNET connections "
+              "===\n\n");
+  std::printf("arrivals: Tcplib %zu, exponential %zu "
+              "(paper: 1,926 vs 2,204)\n\n",
+              t_tcplib.size(), t_exp.size());
+
+  for (double horizon : {200.0, 2000.0}) {
+    std::printf("first %.0f seconds (each column = %.0f s):\n",
+                horizon, horizon / 100.0);
+    std::printf("  tcplib |%s|\n", dot_row(t_tcplib, horizon).c_str());
+    std::printf("  exp    |%s|\n\n", dot_row(t_exp, horizon).c_str());
+  }
+
+  // Quantify the visual contrast: occupancy and variance of fixed bins.
+  const auto empty_frac = [](const std::vector<double>& c) {
+    std::size_t empty = 0;
+    for (double v : c) empty += v == 0.0 ? 1 : 0;
+    return static_cast<double>(empty) / static_cast<double>(c.size());
+  };
+  for (double bin : {2.0, 20.0}) {
+    const auto ct = stats::bin_counts(t_tcplib, 0.0, 2000.0, bin);
+    const auto ce = stats::bin_counts(t_exp, 0.0, 2000.0, bin);
+    std::printf("bin %4.0fs: empty-bin fraction tcplib %.2f vs exp %.2f; "
+                "count variance %.1f vs %.1f\n",
+                bin, empty_frac(ct), empty_frac(ce), stats::variance(ct),
+                stats::variance(ce));
+  }
+
+  plot::write_columns_csv("fig4_arrivals.csv", {"tcplib", "exp"},
+                          {t_tcplib, t_exp});
+  std::printf("\narrival times written to fig4_arrivals.csv\n");
+  std::printf("paper: Tcplib arrivals are dramatically more clustered over "
+              "both time scales.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Fig. 6 reproduction: the TELNET packet count per 5-second interval for
+// the reference trace vs. the fixed-rate exponential synthesis. Paper:
+// similar means (59 vs 57 packets per 5 s) but variance 672 vs 260 —
+// the trace is visibly spikier.
+#include <cstdio>
+#include <vector>
+
+#include "src/core/vt_comparison.hpp"
+#include "src/plot/ascii_plot.hpp"
+#include "src/plot/series_io.hpp"
+#include "src/stats/counting.hpp"
+#include "src/stats/descriptive.hpp"
+
+using namespace wan;
+
+int main() {
+  std::printf("=== Fig. 6: TELNET packets per 5 s interval, trace vs "
+              "exponential synthesis ===\n\n");
+  core::VtComparisonConfig cfg;
+  cfg.seed = 61;
+  const auto cmp = core::run_vt_comparison(cfg);
+
+  // Aggregate the 0.1 s base counts into 5 s bins (M = 50 sums).
+  const auto trace_5s = stats::aggregate_sum(cmp.counts.at("TRACE"), 50);
+  const auto exp_5s = stats::aggregate_sum(cmp.counts.at("EXP"), 50);
+
+  std::vector<plot::Series> series(2);
+  series[0].label = "trace (Tcplib gaps)";
+  series[0].glyph = 'o';
+  series[1].label = "exponential gaps";
+  series[1].glyph = 'x';
+  for (std::size_t i = 0; i < trace_5s.size(); ++i) {
+    series[0].x.push_back(static_cast<double>(i) * 5.0);
+    series[0].y.push_back(trace_5s[i]);
+  }
+  for (std::size_t i = 0; i < exp_5s.size(); ++i) {
+    series[1].x.push_back(static_cast<double>(i) * 5.0);
+    series[1].y.push_back(exp_5s[i]);
+  }
+
+  plot::AxesConfig axes;
+  axes.title = "packets per 5 s interval";
+  axes.x_label = "time (s)";
+  axes.y_label = "packets";
+  axes.height = 16;
+  std::printf("%s\n",
+              plot::render({series[0]}, axes).c_str());
+  std::printf("%s\n",
+              plot::render({series[1]}, axes).c_str());
+
+  std::printf("                 mean      variance   peak\n");
+  std::printf("  trace        %7.1f   %9.1f  %6.0f\n", stats::mean(trace_5s),
+              stats::variance(trace_5s), stats::max_value(trace_5s));
+  std::printf("  exponential  %7.1f   %9.1f  %6.0f\n", stats::mean(exp_5s),
+              stats::variance(exp_5s), stats::max_value(exp_5s));
+  std::printf("\npaper: means 59 vs 57; variances 672 vs 260 — equal rates,"
+              "\nvery different burstiness. Shape check: variance ratio "
+              "%.1fx (paper ~2.6x).\n",
+              stats::variance(trace_5s) / stats::variance(exp_5s));
+
+  plot::write_columns_csv("fig6_counts_5s.csv", {"trace", "exp"},
+                          {trace_5s, exp_5s});
+  return 0;
+}

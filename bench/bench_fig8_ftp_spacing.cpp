@@ -1,0 +1,76 @@
+// Fig. 8 reproduction: the distribution of spacing between FTPDATA
+// connections spawned by the same FTP session (end of one connection to
+// start of the next), for six synthetic datasets. Paper: the upper tail
+// is much heavier than exponential and closer to log-normal /
+// log-logistic; every dataset shows an inflection between 2 and 6 s
+// separating mget-mode spacing from human think times — motivating the
+// 4 s burst threshold (2 s "gives virtually identical results").
+#include <cstdio>
+#include <vector>
+
+#include "src/dist/exponential.hpp"
+#include "src/plot/ascii_plot.hpp"
+#include "src/plot/series_io.hpp"
+#include "src/stats/descriptive.hpp"
+#include "src/stats/ecdf.hpp"
+#include "src/stats/fitting.hpp"
+#include "src/synth/synthesizer.hpp"
+#include "src/trace/burst.hpp"
+
+using namespace wan;
+
+int main() {
+  std::printf("=== Fig. 8: FTPDATA intra-session connection spacing ===\n\n");
+
+  const char* names[] = {"LBL-1", "LBL-5", "LBL-6", "LBL-7", "DEC-1", "UCB"};
+  std::vector<plot::Series> series;
+  std::vector<std::string> csv_names = {"x"};
+  std::vector<std::vector<double>> csv_cols(1);
+  char glyph = 'a';
+
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    auto cfg = i >= 4 ? synth::small_site_conn_preset(names[i], 1.0, 81 + i)
+                      : synth::lbl_conn_preset(names[i], 1.0, 81 + i);
+    const auto tr = synth::synthesize_conn_trace(cfg);
+    const auto spacings = trace::intra_session_spacings(tr);
+    if (spacings.size() < 50) continue;
+    const stats::Ecdf ecdf(spacings);
+
+    plot::Series s;
+    s.label = std::string(names[i]) + " (" +
+              std::to_string(spacings.size()) + " spacings)";
+    s.glyph = glyph++;
+    csv_names.push_back(names[i]);
+    csv_cols.push_back({});
+    for (double x = 0.01; x <= 3000.0; x *= 1.35) {
+      s.x.push_back(x);
+      s.y.push_back(ecdf(x));
+      if (csv_cols[0].size() < s.x.size()) csv_cols[0].push_back(x);
+      csv_cols.back().push_back(ecdf(x));
+    }
+    series.push_back(std::move(s));
+
+    // Tail-heaviness check per dataset: compare the 99th percentile with
+    // an exponential of the same mean.
+    const auto exp_fit = stats::fit_exponential(spacings);
+    std::printf("  %-6s median %7.2f s   p99 %9.1f s   exp-fit p99 %7.1f s"
+                "   P[2s<X<6s] = %4.1f%%\n",
+                names[i], stats::median(spacings),
+                stats::quantile(spacings, 0.99), exp_fit.quantile(0.99),
+                100.0 * (ecdf(6.0) - ecdf(2.0)));
+  }
+
+  plot::AxesConfig axes;
+  axes.log_x = true;
+  axes.title = "\nCDF of intra-session FTPDATA spacing (log seconds)";
+  axes.x_label = "seconds";
+  axes.y_label = "P[X <= x]";
+  std::printf("%s\n", plot::render(series, axes).c_str());
+  plot::write_columns_csv("fig8_ftp_spacing.csv", csv_names, csv_cols);
+
+  std::printf("paper: heavier-than-exponential upper tails; bimodality "
+              "with inflection at 2-6 s;\nspacings <= 4 s define a burst "
+              "(2 s gives virtually identical results — see "
+              "bench_fig9's threshold sweep).\n");
+  return 0;
+}

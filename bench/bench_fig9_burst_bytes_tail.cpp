@@ -1,0 +1,113 @@
+// Fig. 9 reproduction: percentage of all FTPDATA bytes due to the
+// largest 10% of FTPDATA bursts, for six synthetic datasets. Paper: the
+// upper 0.5% tail of bursts holds 30-60% of the bytes (UK, the lightest,
+// still 30%; 55% in its 2% tail); the upper 5% tail of burst bytes fits
+// Pareto with 0.9 <= beta <= 1.4.
+//
+// Also runs: the Section VI check that upper-0.5%-tail burst arrivals
+// fail the exponentiality test in rank-interarrival space, and the
+// DESIGN.md ablation sweeping the burst-joining gap {1,2,4,8} s.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/plot/ascii_plot.hpp"
+#include "src/plot/series_io.hpp"
+#include "src/stats/anderson_darling.hpp"
+#include "src/stats/descriptive.hpp"
+#include "src/stats/tail_fit.hpp"
+#include "src/synth/synthesizer.hpp"
+#include "src/trace/burst.hpp"
+
+using namespace wan;
+
+int main() {
+  std::printf("=== Fig. 9: FTPDATA byte mass in the largest bursts ===\n\n");
+
+  const char* names[] = {"LBL-1", "LBL-5", "LBL-6", "LBL-7", "DEC-1", "UK"};
+  std::vector<plot::Series> series;
+  char glyph = 'a';
+  std::vector<trace::ConnTrace> traces;
+
+  std::vector<std::vector<std::string>> rows;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    auto cfg = (i == 5) ? synth::small_site_conn_preset(names[i], 2.0, 91 + i)
+                        : synth::lbl_conn_preset(names[i], 2.0, 91 + i);
+    const auto tr = synth::synthesize_conn_trace(cfg);
+    traces.push_back(tr);
+    const auto bursts = trace::find_ftp_bursts(tr, 4.0);
+    const auto bytes = trace::burst_bytes(bursts);
+    if (bytes.size() < 100) continue;
+
+    plot::Series s;
+    s.label = std::string(names[i]) + " (" + std::to_string(bursts.size()) +
+              " bursts)";
+    s.glyph = glyph++;
+    for (const auto& [frac, share] : stats::mass_curve(bytes, 0.10)) {
+      s.x.push_back(100.0 * frac);
+      s.y.push_back(100.0 * share);
+    }
+    series.push_back(std::move(s));
+
+    const auto tail_fit = stats::ccdf_tail_fit(bytes, 0.05);
+    rows.push_back(
+        {names[i], std::to_string(bursts.size()),
+         plot::fmt(100.0 * stats::mass_in_top_fraction(bytes, 0.005), 3) + "%",
+         plot::fmt(100.0 * stats::mass_in_top_fraction(bytes, 0.02), 3) + "%",
+         plot::fmt(tail_fit.beta, 3)});
+  }
+
+  plot::AxesConfig axes;
+  axes.title = "share of all FTPDATA bytes (y, %) vs share of bursts (x, %)";
+  axes.x_label = "% of all bursts (largest first)";
+  axes.y_label = "% of all FTPDATA bytes";
+  std::printf("%s\n", plot::render(series, axes).c_str());
+
+  std::printf("%s\n",
+              plot::render_table({"dataset", "bursts", "top 0.5% holds",
+                                  "top 2% holds", "tail Pareto beta"},
+                                 rows)
+                  .c_str());
+  std::printf("paper: top 0.5%% holds 30-60%% (UK lightest at 30%%; its 2%% "
+              "tail 55%%);\ntail fits Pareto 0.9 <= beta <= 1.4.\n\n");
+
+  // Section VI: are huge-burst arrivals Poisson? Take the top 0.5% of
+  // bursts of the biggest trace and test their *rank* interarrivals
+  // (index among all bursts) for exponentiality, removing daily-rate
+  // effects exactly as the paper does.
+  {
+    const auto bursts = trace::find_ftp_bursts(traces[2], 4.0);
+    std::vector<std::pair<double, double>> by_bytes;  // (bytes, rank)
+    for (std::size_t k = 0; k < bursts.size(); ++k)
+      by_bytes.push_back({static_cast<double>(bursts[k].bytes),
+                          static_cast<double>(k)});
+    std::sort(by_bytes.begin(), by_bytes.end(),
+              [](auto& a, auto& b) { return a.first > b.first; });
+    const std::size_t top = std::max<std::size_t>(
+        20, static_cast<std::size_t>(0.005 * double(by_bytes.size())));
+    std::vector<double> ranks;
+    for (std::size_t k = 0; k < top && k < by_bytes.size(); ++k)
+      ranks.push_back(by_bytes[k].second);
+    std::sort(ranks.begin(), ranks.end());
+    const auto gaps = stats::interarrivals(ranks);
+    const auto ad = stats::ad_test_exponential(gaps, 0.05);
+    std::printf("top-%zu burst arrivals, rank-interarrival exponentiality: "
+                "A2* = %.3f (5%% critical %.3f) -> %s\n",
+                ranks.size(), ad.a2_modified, ad.critical,
+                ad.pass ? "consistent" : "REJECTED");
+    std::printf("paper: the 199 upper-tail LBL-6 bursts failed at all "
+                "significance levels.\n\n");
+  }
+
+  // Ablation: burst gap threshold.
+  std::printf("--- ablation: burst-joining gap threshold (LBL-6-like) ---\n");
+  for (double gap : {1.0, 2.0, 4.0, 8.0}) {
+    const auto bursts = trace::find_ftp_bursts(traces[2], gap);
+    const auto bytes = trace::burst_bytes(bursts);
+    std::printf("  gap %3.0f s: %5zu bursts, top 0.5%% holds %5.1f%%\n", gap,
+                bursts.size(),
+                100.0 * stats::mass_in_top_fraction(bytes, 0.005));
+  }
+  std::printf("paper: 2 s vs 4 s 'virtually identical results'.\n");
+  return 0;
+}

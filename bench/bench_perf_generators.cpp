@@ -1,0 +1,89 @@
+// Performance microbenchmarks (google-benchmark) for traffic generation:
+// distribution sampling, FULL-TEL synthesis, FTP session synthesis, and
+// whole-trace assembly throughput.
+#include <benchmark/benchmark.h>
+
+#include "src/dist/pareto.hpp"
+#include "src/dist/tcplib.hpp"
+#include "src/rng/rng.hpp"
+#include "src/synth/ftp_source.hpp"
+#include "src/synth/synthesizer.hpp"
+#include "src/synth/telnet_source.hpp"
+
+using namespace wan;
+
+namespace {
+
+void BM_SampleTcplib(benchmark::State& state) {
+  rng::Rng rng(1);
+  const dist::TcplibTelnetInterarrival d;
+  for (auto _ : state) benchmark::DoNotOptimize(d.sample(rng));
+}
+BENCHMARK(BM_SampleTcplib);
+
+void BM_SamplePareto(benchmark::State& state) {
+  rng::Rng rng(2);
+  const dist::Pareto d(1.0, 1.06);
+  for (auto _ : state) benchmark::DoNotOptimize(d.sample(rng));
+}
+BENCHMARK(BM_SamplePareto);
+
+void BM_FullTelHour(benchmark::State& state) {
+  synth::TelnetConfig cfg;
+  cfg.profile = synth::DiurnalProfile::flat();
+  cfg.conns_per_day = 24.0 * static_cast<double>(state.range(0));
+  const synth::TelnetSource src(cfg);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    rng::Rng rng(seed++);
+    auto conns = src.generate_connections(
+        rng, 0.0, 3600.0, synth::InterarrivalScheme::kTcplib);
+    benchmark::DoNotOptimize(conns);
+  }
+  state.counters["conns/h"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_FullTelHour)->Arg(50)->Arg(150)->Arg(500);
+
+void BM_FtpHour(benchmark::State& state) {
+  synth::FtpConfig cfg;
+  cfg.profile = synth::DiurnalProfile::flat();
+  cfg.sessions_per_day = 24.0 * 200.0;
+  const synth::FtpSource src(cfg);
+  const synth::HostModel hosts(100, 1000);
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    rng::Rng rng(seed++);
+    trace::ConnTrace out("bench", 0.0, 3600.0);
+    std::uint64_t sid = 1;
+    src.generate(rng, 0.0, 3600.0, hosts, &sid, out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_FtpHour);
+
+void BM_SynthesizeConnDay(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto cfg = synth::lbl_conn_preset("bench", 1.0, seed++);
+    auto tr = synth::synthesize_conn_trace(cfg);
+    benchmark::DoNotOptimize(tr);
+    state.counters["conns"] = static_cast<double>(tr.size());
+  }
+}
+BENCHMARK(BM_SynthesizeConnDay)->Unit(benchmark::kMillisecond);
+
+void BM_SynthesizePacketQuarterHour(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto cfg = synth::lbl_pkt_preset("bench", true, seed++);
+    cfg.hours = 0.25;
+    auto tr = synth::synthesize_packet_trace(cfg);
+    benchmark::DoNotOptimize(tr);
+    state.counters["pkts"] = static_cast<double>(tr.size());
+  }
+}
+BENCHMARK(BM_SynthesizePacketQuarterHour)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// Performance microbenchmarks (google-benchmark) for the statistical
+// machinery: FFT, periodogram, Anderson-Darling, variance-time, Whittle,
+// and fGn generation. These document the costs that make whole-trace
+// analyses affordable.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "src/dist/exponential.hpp"
+#include "src/fft/fft.hpp"
+#include "src/fft/periodogram.hpp"
+#include "src/rng/rng.hpp"
+#include "src/selfsim/fgn.hpp"
+#include "src/stats/anderson_darling.hpp"
+#include "src/stats/variance_time.hpp"
+#include "src/stats/whittle.hpp"
+
+using namespace wan;
+
+namespace {
+
+std::vector<double> noise(std::size_t n, std::uint64_t seed) {
+  rng::Rng rng(seed);
+  std::vector<double> x(n);
+  for (double& v : x) v = rng.uniform(0.0, 1.0);
+  return x;
+}
+
+void BM_FftPow2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<fft::cd> x(n);
+  rng::Rng rng(1);
+  for (auto& v : x) v = fft::cd(rng.uniform01(), rng.uniform01());
+  for (auto _ : state) {
+    auto copy = x;
+    fft::fft_pow2(copy, false);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FftPow2)->Range(1 << 8, 1 << 16)->Complexity(benchmark::oNLogN);
+
+void BM_FftBluestein(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0)) + 1;  // odd-ish
+  std::vector<fft::cd> x(n);
+  rng::Rng rng(2);
+  for (auto& v : x) v = fft::cd(rng.uniform01(), rng.uniform01());
+  for (auto _ : state) {
+    auto out = fft::fft(x);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_FftBluestein)->Range(1 << 8, 1 << 14);
+
+void BM_Periodogram(benchmark::State& state) {
+  const auto x = noise(static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    auto pg = fft::periodogram(x);
+    benchmark::DoNotOptimize(pg);
+  }
+}
+BENCHMARK(BM_Periodogram)->Range(1 << 10, 1 << 16);
+
+void BM_AndersonDarlingExp(benchmark::State& state) {
+  rng::Rng rng(4);
+  const dist::Exponential e(1.0);
+  std::vector<double> x(static_cast<std::size_t>(state.range(0)));
+  for (double& v : x) v = e.sample(rng);
+  for (auto _ : state) {
+    auto r = stats::ad_test_exponential(x);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_AndersonDarlingExp)->Range(64, 1 << 14);
+
+void BM_VarianceTimePlot(benchmark::State& state) {
+  const auto x = noise(static_cast<std::size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    auto vt = stats::variance_time_plot(x);
+    benchmark::DoNotOptimize(vt);
+  }
+}
+BENCHMARK(BM_VarianceTimePlot)->Range(1 << 12, 1 << 18);
+
+void BM_WhittleFgn(benchmark::State& state) {
+  rng::Rng rng(6);
+  const auto x = selfsim::generate_fgn(
+      rng, static_cast<std::size_t>(state.range(0)), 0.8);
+  for (auto _ : state) {
+    auto r = stats::whittle_fgn(x);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_WhittleFgn)->Range(1 << 9, 1 << 12);
+
+void BM_GenerateFgn(benchmark::State& state) {
+  rng::Rng rng(7);
+  for (auto _ : state) {
+    auto x = selfsim::generate_fgn(
+        rng, static_cast<std::size_t>(state.range(0)), 0.8);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_GenerateFgn)->Range(1 << 10, 1 << 16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Section VIII reproduction (implication #2): measurement-based
+// admission control. "If the measured class has high burstiness
+// consisting of both a high variance and significant long-range
+// dependence, then an admissions control procedure that considers only
+// recent traffic could be easily misled following a long period of
+// fairly low traffic rates." (The California-earthquake analogy.)
+//
+// Equal-mean background load processes — short-range (M/G/inf with
+// exponential lifetimes) vs long-range dependent (Pareto lifetimes) —
+// feed the same EWMA-based admission controller; we compare the
+// overload it fails to prevent, across headroom settings.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "src/dist/exponential.hpp"
+#include "src/dist/pareto.hpp"
+#include "src/plot/ascii_plot.hpp"
+#include "src/rng/rng.hpp"
+#include "src/selfsim/mginf.hpp"
+#include "src/sim/admission.hpp"
+#include "src/stats/descriptive.hpp"
+#include "src/stats/variance_time.hpp"
+
+using namespace wan;
+
+namespace {
+
+std::vector<double> background(rng::Rng& rng, bool heavy, std::size_t n,
+                               double target_mean) {
+  std::vector<double> x;
+  if (heavy) {
+    const dist::Pareto life(1.0, 1.3);
+    selfsim::MgInfConfig cfg;
+    cfg.arrival_rate = 3.0;
+    cfg.warmup = 50000.0;
+    x = selfsim::mginf_count_process(rng, life, n, cfg);
+  } else {
+    const dist::Exponential life(4.0);
+    selfsim::MgInfConfig cfg;
+    cfg.arrival_rate = 3.0;
+    cfg.warmup = 300.0;
+    x = selfsim::mginf_count_process(rng, life, n, cfg);
+  }
+  // Present the background as a fluid *rate* (a trailing 50-slot moving
+  // average): the controller-relevant distinction between the two worlds
+  // is the slow component, which SRD averages away and LRD cannot.
+  std::vector<double> smooth(x.size(), 0.0);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += x[i];
+    if (i >= 50) acc -= x[i - 50];
+    smooth[i] = acc / static_cast<double>(std::min<std::size_t>(i + 1, 50));
+  }
+  const double m = stats::mean(smooth);
+  for (double& v : smooth) v *= target_mean / std::max(m, 1e-9);
+  return smooth;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Section VIII: measurement-based admission control vs "
+              "LRD background ===\n\n");
+  const std::size_t slots = 40000;
+  rng::Rng rng(8002);
+  rng::Rng rh = rng.child("heavy");
+  rng::Rng rl = rng.child("light");
+  const auto heavy = background(rh, true, slots, 45.0);
+  const auto light = background(rl, false, slots, 45.0);
+
+  std::printf("background means: LRD %.1f, SRD %.1f (matched); "
+              "VT-Hurst: LRD %.2f, SRD %.2f\n\n",
+              stats::mean(heavy), stats::mean(light),
+              stats::variance_time_plot(heavy).hurst(4, 2000),
+              stats::variance_time_plot(light).hurst(4, 2000));
+
+  std::vector<std::vector<std::string>> rows;
+  for (double headroom : {0.95, 0.85, 0.75, 0.65}) {
+    sim::AdmissionConfig cfg;
+    cfg.capacity = 100.0;
+    cfg.headroom = headroom;
+    rng::Rng r1(9100), r2(9100);  // identical request randomness
+    const auto res_h = sim::simulate_admission(r1, heavy, cfg);
+    const auto res_l = sim::simulate_admission(r2, light, cfg);
+    rows.push_back(
+        {plot::fmt(headroom, 2),
+         plot::fmt(100.0 * res_l.overload_fraction, 3) + "%",
+         plot::fmt(100.0 * res_h.overload_fraction, 3) + "%",
+         plot::fmt(res_l.mean_admitted_flows, 3),
+         plot::fmt(res_h.mean_admitted_flows, 3),
+         plot::fmt(res_h.worst_overload, 3)});
+  }
+  std::printf(
+      "%s\n",
+      plot::render_table({"headroom", "SRD overload", "LRD overload",
+                          "SRD flows", "LRD flows", "LRD worst"},
+                         rows)
+          .c_str());
+  std::printf(
+      "shape check: at every headroom the controller lets the LRD "
+      "background overload the\nlink far more often — lulls look like "
+      "spare capacity, then the swell returns.\n");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Table II reproduction: summary of wide-area packet traces. We
+// synthesize LBL-PKT-like traces (TCP-only, two hours; all-link, one
+// hour) and DEC-WRL-like traces (hotter, one hour) and print the same
+// columns: dataset, when, what (packet count).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/plot/ascii_plot.hpp"
+#include "src/synth/synthesizer.hpp"
+
+using namespace wan;
+
+int main() {
+  std::printf("=== Table II: summary of wide-area packet traces "
+              "(synthetic stand-ins) ===\n\n");
+
+  struct Row {
+    std::string label;
+    std::string when;
+    synth::PacketDatasetConfig cfg;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"LBL PKT-1 (TCP)", "2PM-4PM",
+                  synth::lbl_pkt_preset("LBL-PKT-1", true, 21)});
+  rows.push_back({"LBL PKT-2 (TCP)", "2PM-4PM",
+                  synth::lbl_pkt_preset("LBL-PKT-2", true, 22)});
+  rows.push_back({"LBL PKT-4 (all)", "2PM-3PM",
+                  synth::lbl_pkt_preset("LBL-PKT-4", false, 24)});
+  rows.push_back({"DEC WRL-1 (all)", "10PM-11PM",
+                  synth::dec_wrl_pkt_preset("DEC-WRL-1", 25)});
+  rows.push_back({"DEC WRL-3 (all)", "1PM-2PM",
+                  synth::dec_wrl_pkt_preset("DEC-WRL-3", 27)});
+
+  std::vector<std::vector<std::string>> cells;
+  for (const Row& row : rows) {
+    const auto tr = synth::synthesize_packet_trace(row.cfg);
+    std::uint64_t payload = 0;
+    for (const auto& s : tr.summary()) payload += s.payload_bytes;
+    cells.push_back(
+        {row.label, row.when,
+         plot::fmt(static_cast<double>(tr.size()) / 1e6, 3) + "M pkts",
+         std::to_string(tr.connection_count()) + " conns",
+         plot::fmt(static_cast<double>(payload) / 1e6, 3) + " MB"});
+  }
+  std::printf(
+      "%s\n",
+      plot::render_table({"dataset", "when", "what", "conns", "payload"},
+                         cells)
+          .c_str());
+  std::printf("note: paper traces ranged 1.3M-2.4M packets per trace; the\n"
+              "synthetic volumes land in the same regime.\n");
+  return 0;
+}

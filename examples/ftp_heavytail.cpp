@@ -1,0 +1,59 @@
+// Example: the FTP heavy-tail workflow of Section VI as an application.
+// Generates a day of FTP traffic, identifies FTPDATA bursts with the 4 s
+// rule, fits the burst-byte tail, and shows why "modeling small FTP
+// sessions is irrelevant; all that matters is the behavior of a few huge
+// bursts".
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/models.hpp"
+#include "src/plot/ascii_plot.hpp"
+#include "src/stats/descriptive.hpp"
+#include "src/stats/poisson_test.hpp"
+#include "src/stats/tail_fit.hpp"
+#include "src/trace/burst.hpp"
+
+using namespace wan;
+
+int main(int argc, char** argv) {
+  const double sessions_per_hour = argc > 1 ? std::atof(argv[1]) : 300.0;
+  rng::Rng rng(argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2]))
+                        : 1994);
+
+  core::FtpModel ftp(sessions_per_hour);
+  const auto tr = ftp.generate(rng, 0.0, 24.0 * 3600.0);
+  std::printf("one synthetic day of FTP: %zu records\n", tr.size());
+
+  // Session arrivals: the Poisson part.
+  stats::PoissonTestConfig cfg;
+  cfg.interval_length = 3600.0;
+  const auto sessions = stats::test_poisson_arrivals(
+      tr.arrival_times(trace::Protocol::kFtpCtrl), cfg, 0.0, 86400.0);
+  std::printf("FTP session arrivals:  %s\n", to_string(sessions).c_str());
+  const auto data = stats::test_poisson_arrivals(
+      tr.arrival_times(trace::Protocol::kFtpData), cfg, 0.0, 86400.0);
+  std::printf("FTPDATA conn arrivals: %s\n\n", to_string(data).c_str());
+
+  // Bursts and their bytes.
+  const auto bursts = trace::find_ftp_bursts(tr, 4.0);
+  const auto bytes = trace::burst_bytes(bursts);
+  std::printf("%zu FTPDATA bursts identified (gap <= 4 s)\n", bursts.size());
+  const auto summary = stats::summarize(bytes);
+  std::printf("burst bytes: median %.0f, mean %.0f, max %.3g\n",
+              summary.median, summary.mean, summary.max);
+
+  const auto fit = stats::ccdf_tail_fit(bytes, 0.05);
+  std::printf("upper-5%% tail Pareto shape: beta = %.2f (paper: 0.9-1.4)\n",
+              fit.beta);
+  std::printf("mass in largest bursts: top 0.5%% -> %.0f%%, top 2%% -> "
+              "%.0f%%, top 10%% -> %.0f%%\n\n",
+              100.0 * stats::mass_in_top_fraction(bytes, 0.005),
+              100.0 * stats::mass_in_top_fraction(bytes, 0.02),
+              100.0 * stats::mass_in_top_fraction(bytes, 0.10));
+
+  // The engineering moral.
+  std::printf("moral: at any moment FTP traffic is likely dominated by a "
+              "single huge burst;\nprovisioning from mean rates (as "
+              "Poisson theory invites) misses exactly that.\n");
+  return 0;
+}

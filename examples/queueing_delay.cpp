@@ -1,0 +1,88 @@
+// Example: what Poisson modeling costs you in capacity planning.
+// Feeds a FIFO bottleneck with (a) measured-like Tcplib TELNET traffic
+// and (b) the Poisson model of the same load, then reports the buffer
+// size needed to hold packet loss under 0.1% at increasing utilization.
+// The Poisson model recommends buffers that the real traffic overflows.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "src/plot/ascii_plot.hpp"
+#include "src/rng/rng.hpp"
+#include "src/sim/fifo.hpp"
+#include "src/synth/telnet_source.hpp"
+
+using namespace wan;
+
+namespace {
+
+std::vector<double> multiplexed(const synth::TelnetSource& src,
+                                synth::InterarrivalScheme scheme,
+                                std::uint64_t seed, int n_conns) {
+  rng::Rng rng(seed);
+  std::vector<double> times;
+  for (int c = 0; c < n_conns; ++c) {
+    const auto t = src.generate_packet_times(rng, 0.0, 2000, scheme);
+    for (double v : t)
+      if (v < 1200.0) times.push_back(v);
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+// Smallest buffer (in packets) holding drop rate under `target`.
+std::size_t buffer_for_loss(const std::vector<double>& arrivals,
+                            double service, double target) {
+  for (std::size_t buf : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u, 512u,
+                          1024u, 4096u}) {
+    const auto s = sim::simulate_fifo_const(arrivals, service, buf);
+    const double loss = static_cast<double>(s.dropped) /
+                        std::max<double>(1.0, double(s.arrived));
+    if (loss <= target) return buf;
+  }
+  return 8192;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int n_conns = argc > 1 ? std::atoi(argv[1]) : 100;
+  synth::TelnetConfig tc;
+  tc.profile = synth::DiurnalProfile::flat();
+  const synth::TelnetSource src(tc);
+
+  const auto real =
+      multiplexed(src, synth::InterarrivalScheme::kTcplib, 31, n_conns);
+  const auto model =
+      multiplexed(src, synth::InterarrivalScheme::kExponential, 32, n_conns);
+  const double rate_r = static_cast<double>(real.size()) / 1200.0;
+  const double rate_m = static_cast<double>(model.size()) / 1200.0;
+
+  std::printf("provisioning a bottleneck for %d multiplexed TELNET "
+              "connections (20 min)\n\n",
+              n_conns);
+  std::vector<std::vector<std::string>> rows;
+  for (double rho : {0.6, 0.75, 0.9}) {
+    const auto buf_model = buffer_for_loss(model, rho / rate_m, 1e-3);
+    const auto buf_real = buffer_for_loss(real, rho / rate_r, 1e-3);
+    // What actually happens if you provision by the model?
+    const auto s =
+        sim::simulate_fifo_const(real, rho / rate_r, buf_model);
+    const double realized_loss = static_cast<double>(s.dropped) /
+                                 std::max<double>(1.0, double(s.arrived));
+    rows.push_back({plot::fmt(rho, 2), std::to_string(buf_model),
+                    std::to_string(buf_real),
+                    plot::fmt(100.0 * realized_loss, 3) + "%"});
+  }
+  std::printf(
+      "%s\n",
+      plot::render_table({"utilization", "buffer (Poisson model)",
+                          "buffer (real traffic)", "loss if model-sized"},
+                         rows)
+          .c_str());
+  std::printf("the Poisson model's buffer recommendation under-provisions; "
+              "\"traffic spikes ride on\nripples riding on swells\" [18] — "
+              "burstiness lives at every scale.\n");
+  return 0;
+}

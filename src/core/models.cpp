@@ -1,0 +1,50 @@
+#include "src/core/models.hpp"
+
+namespace wan::core {
+
+namespace {
+
+synth::TelnetConfig full_tel_config(double conns_per_hour) {
+  synth::TelnetConfig c;
+  c.profile = synth::DiurnalProfile::flat();
+  c.conns_per_day = conns_per_hour * 24.0;
+  return c;
+}
+
+synth::FtpConfig ftp_config(double sessions_per_hour) {
+  synth::FtpConfig c;
+  c.profile = synth::DiurnalProfile::flat();
+  c.sessions_per_day = sessions_per_hour * 24.0;
+  return c;
+}
+
+}  // namespace
+
+FullTelnetModel::FullTelnetModel(double conns_per_hour)
+    : source_(full_tel_config(conns_per_hour)) {}
+
+trace::PacketTrace FullTelnetModel::generate(rng::Rng& rng, double t0,
+                                             double t1) const {
+  return generate(rng, t0, t1, synth::InterarrivalScheme::kTcplib);
+}
+
+trace::PacketTrace FullTelnetModel::generate(
+    rng::Rng& rng, double t0, double t1,
+    synth::InterarrivalScheme scheme) const {
+  const auto conns = source_.generate_connections(rng, t0, t1, scheme);
+  return source_.to_packet_trace(conns, t0, t1);
+}
+
+FtpModel::FtpModel(double sessions_per_hour)
+    : source_(ftp_config(sessions_per_hour)), hosts_(100, 2000) {}
+
+trace::ConnTrace FtpModel::generate(rng::Rng& rng, double t0,
+                                    double t1) const {
+  trace::ConnTrace out("ftp-model", t0, t1);
+  std::uint64_t next_session = 1;
+  source_.generate(rng, t0, t1, hosts_, &next_session, out);
+  out.sort_by_start();
+  return out;
+}
+
+}  // namespace wan::core

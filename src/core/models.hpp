@@ -1,0 +1,78 @@
+// The paper's headline models, packaged as the library's public facade:
+//
+//  * SessionArrivalModel — Poisson session arrivals with fixed hourly
+//    rates, the one place the paper finds Poisson modeling valid;
+//  * FullTelnetModel — FULL-TEL (Section V): parameterized ONLY by the
+//    hourly connection arrival rate; Poisson connection arrivals,
+//    log2-normal sizes in packets, Tcplib packet interarrivals;
+//  * FtpModel — Poisson FTP session arrivals spawning heavy-tailed
+//    FTPDATA connection bursts (Section VI).
+#pragma once
+
+#include "src/synth/ftp_source.hpp"
+#include "src/synth/telnet_source.hpp"
+#include "src/trace/conn_trace.hpp"
+#include "src/trace/packet_trace.hpp"
+
+namespace wan::core {
+
+/// Poisson arrivals with fixed hourly rates — valid (per the paper) for
+/// TELNET connections, FTP sessions, RLOGIN sessions.
+class SessionArrivalModel {
+ public:
+  SessionArrivalModel(synth::DiurnalProfile profile, double sessions_per_day)
+      : profile_(std::move(profile)), per_day_(sessions_per_day) {}
+
+  /// Session start times over [t0, t1).
+  std::vector<double> sample_arrivals(rng::Rng& rng, double t0,
+                                      double t1) const {
+    return synth::poisson_arrivals_hourly(rng, profile_, per_day_, t0, t1);
+  }
+
+  double sessions_per_day() const { return per_day_; }
+  const synth::DiurnalProfile& profile() const { return profile_; }
+
+ private:
+  synth::DiurnalProfile profile_;
+  double per_day_;
+};
+
+/// FULL-TEL. The single free parameter is the connection arrival rate;
+/// everything else is the invariant structure Sections IV-V establish.
+class FullTelnetModel {
+ public:
+  /// `conns_per_hour`: the model's one parameter. The diurnal profile is
+  /// flattened: within the modeled window the rate is constant, as in the
+  /// paper's two-hour synthesis.
+  explicit FullTelnetModel(double conns_per_hour);
+
+  /// Generates originator packet traffic over [t0, t1).
+  trace::PacketTrace generate(rng::Rng& rng, double t0, double t1) const;
+
+  /// Generates with an alternative interarrival scheme (the EXP /
+  /// VAR-EXP straw men) for comparisons.
+  trace::PacketTrace generate(rng::Rng& rng, double t0, double t1,
+                              synth::InterarrivalScheme scheme) const;
+
+  const synth::TelnetSource& source() const { return source_; }
+
+ private:
+  synth::TelnetSource source_;
+};
+
+/// Section VI's FTP traffic structure.
+class FtpModel {
+ public:
+  explicit FtpModel(double sessions_per_hour);
+
+  /// Generates FTP session + FTPDATA connection records over [t0, t1).
+  trace::ConnTrace generate(rng::Rng& rng, double t0, double t1) const;
+
+  const synth::FtpSource& source() const { return source_; }
+
+ private:
+  synth::FtpSource source_;
+  synth::HostModel hosts_;
+};
+
+}  // namespace wan::core

@@ -1,0 +1,59 @@
+#include "src/core/poisson_report.hpp"
+
+#include "src/plot/ascii_plot.hpp"
+
+namespace wan::core {
+
+std::vector<ProtocolVerdict> poisson_report(
+    const trace::ConnTrace& tr, const PoissonReportConfig& config) {
+  stats::PoissonTestConfig test = config.test;
+  test.interval_length = config.interval_length;
+
+  std::vector<ProtocolVerdict> rows;
+  for (trace::Protocol p : config.protocols) {
+    const auto times = tr.arrival_times(p);
+    if (times.size() < 2 * test.min_interarrivals) continue;
+    ProtocolVerdict v;
+    v.trace_name = tr.name();
+    v.label = std::string(trace::to_string(p));
+    v.result = stats::test_poisson_arrivals(times, test, tr.t_begin(),
+                                            tr.t_end());
+    if (v.result.n_intervals > 0) rows.push_back(std::move(v));
+  }
+
+  if (config.include_ftp_bursts) {
+    const auto bursts = trace::find_ftp_bursts(tr, config.burst_gap);
+    const auto times = trace::burst_start_times(bursts);
+    if (times.size() >= 2 * test.min_interarrivals) {
+      ProtocolVerdict v;
+      v.trace_name = tr.name();
+      v.label = "FTPDATA-burst";
+      v.result = stats::test_poisson_arrivals(times, test, tr.t_begin(),
+                                              tr.t_end());
+      if (v.result.n_intervals > 0) rows.push_back(std::move(v));
+    }
+  }
+  return rows;
+}
+
+std::string render_poisson_report(const std::vector<ProtocolVerdict>& rows) {
+  std::vector<std::vector<std::string>> cells;
+  for (const ProtocolVerdict& v : rows) {
+    const auto& r = v.result;
+    cells.push_back({
+        v.trace_name,
+        v.label,
+        plot::fmt(100.0 * r.frac_pass_exponential, 3) + "%",
+        plot::fmt(100.0 * r.frac_pass_independence, 3) + "%",
+        std::to_string(r.n_intervals),
+        r.poisson ? "POISSON" : "not-Poisson",
+        r.lag1_sign_bias > 0 ? "+" : (r.lag1_sign_bias < 0 ? "-" : ""),
+    });
+  }
+  return plot::render_table(
+      {"trace", "protocol", "exp-pass", "indep-pass", "intervals", "verdict",
+       "corr"},
+      cells);
+}
+
+}  // namespace wan::core

@@ -1,0 +1,45 @@
+// The Fig. 5 / Fig. 7 machinery: synthesize a reference TELNET packet
+// trace, re-synthesize it under the TCPLIB / EXP / VAR-EXP schemes with
+// identical connection starts and sizes, and compare variance-time plots.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/stats/variance_time.hpp"
+#include "src/synth/telnet_source.hpp"
+#include "src/trace/packet_trace.hpp"
+
+namespace wan::core {
+
+struct VtComparisonConfig {
+  double t0 = 0.0;
+  double t1 = 7200.0;       ///< two hours, like LBL PKT-2
+  double base_bin = 0.1;    ///< the paper's 0.1 s base observation bin
+  double conns_per_hour = 136.5;  ///< ~273 connections over two hours
+  std::uint64_t seed = 7;
+  synth::TelnetConfig telnet;  ///< profile flattened internally
+};
+
+struct VtComparison {
+  /// Count process per scheme name ("TRACE", "TCPLIB", "EXP", "VAR-EXP").
+  std::map<std::string, std::vector<double>> counts;
+  /// Variance-time plot per scheme.
+  std::map<std::string, stats::VarianceTimePlot> vt;
+  std::size_t n_connections = 0;
+};
+
+/// Runs the full comparison. The "TRACE" series is a Tcplib-driven
+/// synthesis standing in for the measured LBL PKT-2 TELNET packets; the
+/// other three re-synthesize from its skeletons exactly as Section IV
+/// describes.
+VtComparison run_vt_comparison(const VtComparisonConfig& config);
+
+/// The Fig. 7 variant: FULL-TEL resimulated from scratch (fresh Poisson
+/// arrivals and sizes, not skeletons) against the reference trace,
+/// trimmed to the second hour.
+VtComparison run_fulltel_comparison(const VtComparisonConfig& config,
+                                    std::size_t n_replicates = 3);
+
+}  // namespace wan::core

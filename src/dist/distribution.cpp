@@ -1,0 +1,49 @@
+#include "src/dist/distribution.hpp"
+
+#include <cmath>
+
+namespace wan::dist {
+
+double Distribution::sample(rng::Rng& rng) const {
+  return quantile(rng.uniform01_open_below());
+}
+
+double Distribution::quantile(double p) const {
+  double lo = support_lo();
+  double hi = support_hi();
+  // 200 bisection steps resolve any bracket to ~2^-200 of its width,
+  // i.e. far below double precision.
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (cdf(mid) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo <= 1e-15 * (1.0 + std::abs(lo))) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double Distribution::cmex(double x) const {
+  // E[X - x | X > x] = (1/P[X>x]) * Integral_x^inf P[X>t] dt.
+  // Integrate the tail with an adaptive-ish geometric grid: fine near x,
+  // coarse far out; stop when the remaining tail is negligible.
+  const double px = tail(x);
+  if (px <= 0.0) return 0.0;
+  double integral = 0.0;
+  double t = x;
+  double step = std::max(1e-6, 1e-3 * (std::abs(x) + 1.0));
+  for (int i = 0; i < 20000; ++i) {
+    const double t2 = t + step;
+    const double f1 = tail(t);
+    const double f2 = tail(t2);
+    integral += 0.5 * (f1 + f2) * step;
+    t = t2;
+    step *= 1.01;  // geometric growth: reaches huge t quickly
+    if (f2 < 1e-12 * px) break;
+  }
+  return integral / px;
+}
+
+}  // namespace wan::dist

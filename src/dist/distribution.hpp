@@ -1,0 +1,62 @@
+// Distribution: the sampling/analysis interface shared by every
+// continuous law used in the paper (Appendix B).
+//
+// Each concrete distribution provides its CDF and quantile in closed form
+// where possible; sample() defaults to inverse-transform sampling so one
+// uniform variate maps monotonically to one output (which keeps paired
+// experiments with common random numbers well-defined).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/rng/rng.hpp"
+
+namespace wan::dist {
+
+/// Interface for a one-dimensional continuous distribution.
+class Distribution {
+ public:
+  virtual ~Distribution() = default;
+
+  /// Draws one variate.
+  virtual double sample(rng::Rng& rng) const;
+
+  /// F(x) = P[X <= x].
+  virtual double cdf(double x) const = 0;
+
+  /// F^{-1}(p) for p in (0,1). The default implementation bisects cdf()
+  /// and is correct for any continuous strictly-increasing CDF; concrete
+  /// classes override it with closed forms.
+  virtual double quantile(double p) const;
+
+  /// Survival (tail) function P[X > x]. The default 1 - cdf(x) loses all
+  /// precision below ~1e-16; distributions with analytically available
+  /// tails override it, which matters when comparing far tails (the
+  /// business of this library).
+  virtual double tail(double x) const { return 1.0 - cdf(x); }
+
+  /// E[X]; may be +infinity (e.g. Pareto with shape <= 1).
+  virtual double mean() const = 0;
+
+  /// Var[X]; may be +infinity.
+  virtual double variance() const = 0;
+
+  /// Conditional mean exceedance E[X - x | X > x] (Appendix B's CMEX),
+  /// evaluated numerically from the tail function by default. Increasing
+  /// CMEX is the paper's second definition of "heavy-tailed".
+  virtual double cmex(double x) const;
+
+  /// Human-readable name with parameters, e.g. "Pareto(a=1, beta=0.9)".
+  virtual std::string name() const = 0;
+
+ protected:
+  /// Bisection bracket for the default quantile(); override when support
+  /// is not contained in [lo, hi] = [0, 1e12].
+  virtual double support_lo() const { return 0.0; }
+  virtual double support_hi() const { return 1e12; }
+};
+
+using DistributionPtr = std::shared_ptr<const Distribution>;
+
+}  // namespace wan::dist

@@ -1,0 +1,128 @@
+#include "src/dist/empirical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wan::dist {
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> xs, std::vector<double> ps,
+                           Interp interp)
+    : xs_(std::move(xs)), ps_(std::move(ps)), interp_(interp) {
+  if (xs_.size() != ps_.size() || xs_.size() < 2)
+    throw std::invalid_argument("EmpiricalCdf: need >= 2 matching knots");
+  for (std::size_t i = 1; i < xs_.size(); ++i) {
+    if (!(xs_[i] > xs_[i - 1]))
+      throw std::invalid_argument("EmpiricalCdf: x knots must increase");
+    if (!(ps_[i] >= ps_[i - 1]))
+      throw std::invalid_argument("EmpiricalCdf: p knots must be nondecreasing");
+  }
+  if (ps_.front() != 0.0 || std::abs(ps_.back() - 1.0) > 1e-12)
+    throw std::invalid_argument("EmpiricalCdf: p must span [0, 1]");
+  ps_.back() = 1.0;
+  if (interp_ == Interp::kLogX && xs_.front() <= 0.0)
+    throw std::invalid_argument("EmpiricalCdf: log-x interp needs x > 0");
+}
+
+EmpiricalCdf EmpiricalCdf::from_samples(std::span<const double> samples,
+                                        Interp interp) {
+  if (samples.size() < 2)
+    throw std::invalid_argument("EmpiricalCdf: need >= 2 samples");
+  std::vector<double> xs(samples.begin(), samples.end());
+  std::sort(xs.begin(), xs.end());
+  // Collapse duplicate order statistics, keeping the highest probability
+  // assigned to each distinct value.
+  std::vector<double> ux, up;
+  const double n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double p = static_cast<double>(i + 1) / n;
+    if (!ux.empty() && xs[i] == ux.back()) {
+      up.back() = p;
+    } else {
+      ux.push_back(xs[i]);
+      up.push_back(p);
+    }
+  }
+  if (ux.size() < 2)
+    throw std::invalid_argument("EmpiricalCdf: all samples identical");
+  // Anchor the CDF at the minimum with probability 0 (shift first knot).
+  up.front() = 0.0;
+  return EmpiricalCdf(std::move(ux), std::move(up), interp);
+}
+
+double EmpiricalCdf::knot_coord(double x) const {
+  return interp_ == Interp::kLogX ? std::log(x) : x;
+}
+
+double EmpiricalCdf::inv_knot_coord(double c) const {
+  return interp_ == Interp::kLogX ? std::exp(c) : c;
+}
+
+double EmpiricalCdf::cdf(double x) const {
+  if (x <= xs_.front()) return 0.0;
+  if (x >= xs_.back()) return 1.0;
+  const auto it = std::upper_bound(xs_.begin(), xs_.end(), x);
+  const std::size_t i = static_cast<std::size_t>(it - xs_.begin()) - 1;
+  const double c0 = knot_coord(xs_[i]);
+  const double c1 = knot_coord(xs_[i + 1]);
+  const double f = (knot_coord(x) - c0) / (c1 - c0);
+  return ps_[i] + f * (ps_[i + 1] - ps_[i]);
+}
+
+double EmpiricalCdf::quantile(double p) const {
+  if (p <= 0.0) return xs_.front();
+  if (p >= 1.0) return xs_.back();
+  const auto it = std::upper_bound(ps_.begin(), ps_.end(), p);
+  std::size_t i = static_cast<std::size_t>(it - ps_.begin());
+  if (i == 0) return xs_.front();
+  --i;
+  // Skip zero-width probability plateaus.
+  while (i + 1 < ps_.size() && ps_[i + 1] == ps_[i]) ++i;
+  if (i + 1 >= ps_.size()) return xs_.back();
+  const double f = (p - ps_[i]) / (ps_[i + 1] - ps_[i]);
+  const double c0 = knot_coord(xs_[i]);
+  const double c1 = knot_coord(xs_[i + 1]);
+  return inv_knot_coord(c0 + f * (c1 - c0));
+}
+
+double EmpiricalCdf::segment_mean(std::size_t i) const {
+  const double x = xs_[i];
+  const double y = xs_[i + 1];
+  if (interp_ == Interp::kLogX) {
+    // X | segment is log-uniform on [x, y].
+    return (y - x) / std::log(y / x);
+  }
+  return 0.5 * (x + y);
+}
+
+double EmpiricalCdf::segment_moment2(std::size_t i) const {
+  const double x = xs_[i];
+  const double y = xs_[i + 1];
+  if (interp_ == Interp::kLogX) {
+    return (y * y - x * x) / (2.0 * std::log(y / x));
+  }
+  return (x * x + x * y + y * y) / 3.0;
+}
+
+double EmpiricalCdf::mean() const {
+  double m = 0.0;
+  for (std::size_t i = 0; i + 1 < xs_.size(); ++i) {
+    m += (ps_[i + 1] - ps_[i]) * segment_mean(i);
+  }
+  return m;
+}
+
+double EmpiricalCdf::variance() const {
+  double m2 = 0.0;
+  for (std::size_t i = 0; i + 1 < xs_.size(); ++i) {
+    m2 += (ps_[i + 1] - ps_[i]) * segment_moment2(i);
+  }
+  const double m = mean();
+  return m2 - m * m;
+}
+
+std::string EmpiricalCdf::name() const {
+  return "EmpiricalCdf(" + std::to_string(xs_.size()) + " knots)";
+}
+
+}  // namespace wan::dist

@@ -1,0 +1,51 @@
+// Empirical distributions built from samples or from (value, probability)
+// knots — the mechanism behind Tcplib-style trace-derived laws. Sampling
+// is by inverse transform with linear (or log-linear) interpolation
+// between knots, matching how tcplib itself interpolates its tables.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/dist/distribution.hpp"
+
+namespace wan::dist {
+
+/// A continuous distribution specified as a piecewise-linear CDF through
+/// knots (x_i, p_i) with x and p strictly increasing, p_first = 0,
+/// p_last = 1. Interpolation between knots is linear either in x or in
+/// log x (the latter fits laws that look linear on a log axis, like the
+/// paper's Fig. 3).
+class EmpiricalCdf final : public Distribution {
+ public:
+  enum class Interp { kLinear, kLogX };
+
+  EmpiricalCdf(std::vector<double> xs, std::vector<double> ps,
+               Interp interp = Interp::kLinear);
+
+  /// Builds the usual ECDF-based distribution from raw samples: knots at
+  /// the order statistics, probabilities i/n. Samples need not be sorted.
+  static EmpiricalCdf from_samples(std::span<const double> samples,
+                                   Interp interp = Interp::kLinear);
+
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override;
+  double variance() const override;
+  std::string name() const override;
+
+  const std::vector<double>& knots_x() const { return xs_; }
+  const std::vector<double>& knots_p() const { return ps_; }
+
+ private:
+  double knot_coord(double x) const;     // x or log x per interp mode
+  double inv_knot_coord(double c) const; // inverse of the above
+  double segment_mean(std::size_t i) const;
+  double segment_moment2(std::size_t i) const;
+
+  std::vector<double> xs_;
+  std::vector<double> ps_;
+  Interp interp_;
+};
+
+}  // namespace wan::dist

@@ -1,0 +1,30 @@
+#include "src/dist/exponential.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wan::dist {
+
+Exponential::Exponential(double mean) : mean_(mean) {
+  if (!(mean > 0.0)) throw std::invalid_argument("Exponential: mean must be > 0");
+}
+
+double Exponential::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return -std::expm1(-x / mean_);
+}
+
+double Exponential::tail(double x) const {
+  if (x <= 0.0) return 1.0;
+  return std::exp(-x / mean_);
+}
+
+double Exponential::quantile(double p) const {
+  return -mean_ * std::log1p(-p);
+}
+
+std::string Exponential::name() const {
+  return "Exponential(mean=" + std::to_string(mean_) + ")";
+}
+
+}  // namespace wan::dist

@@ -1,0 +1,33 @@
+// Exponential distribution — the interarrival law of a homogeneous
+// Poisson process, and the paper's straw-man model for packet
+// interarrivals ("EXP" and "VAR-EXP" schemes in Section IV).
+#pragma once
+
+#include "src/dist/distribution.hpp"
+
+namespace wan::dist {
+
+/// Exponential(mean). The memoryless distribution: CMEX is constant.
+class Exponential final : public Distribution {
+ public:
+  /// mean must be > 0.
+  explicit Exponential(double mean);
+
+  /// Named constructor from rate lambda = 1/mean.
+  static Exponential from_rate(double rate) { return Exponential(1.0 / rate); }
+
+  double cdf(double x) const override;
+  double tail(double x) const override;  // exact exp(-x/mean)
+  double quantile(double p) const override;
+  double mean() const override { return mean_; }
+  double variance() const override { return mean_ * mean_; }
+  double cmex(double /*x*/) const override { return mean_; }
+  std::string name() const override;
+
+  double rate() const { return 1.0 / mean_; }
+
+ private:
+  double mean_;
+};
+
+}  // namespace wan::dist

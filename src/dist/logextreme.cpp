@@ -1,0 +1,49 @@
+#include "src/dist/logextreme.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace wan::dist {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+const double kLn2 = 0.6931471805599453;
+}  // namespace
+
+LogExtreme::LogExtreme(double alpha, double beta) : alpha_(alpha), beta_(beta) {
+  if (!(beta > 0.0)) throw std::invalid_argument("LogExtreme: beta must be > 0");
+}
+
+double LogExtreme::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double z = (std::log2(x) - alpha_) / beta_;
+  return std::exp(-std::exp(-z));
+}
+
+double LogExtreme::quantile(double p) const {
+  // Invert: log2 x = alpha - beta * ln(-ln p).
+  const double g = -std::log(-std::log(p));
+  return std::exp2(alpha_ + beta_ * g);
+}
+
+double LogExtreme::mean() const {
+  const double t = beta_ * kLn2;
+  if (t >= 1.0) return kInf;
+  return std::exp2(alpha_) * std::tgamma(1.0 - t);
+}
+
+double LogExtreme::variance() const {
+  const double t = beta_ * kLn2;
+  if (2.0 * t >= 1.0) return kInf;
+  const double m = mean();
+  const double ex2 = std::exp2(2.0 * alpha_) * std::tgamma(1.0 - 2.0 * t);
+  return ex2 - m * m;
+}
+
+std::string LogExtreme::name() const {
+  return "LogExtreme(alpha=" + std::to_string(alpha_) +
+         ",beta=" + std::to_string(beta_) + ")";
+}
+
+}  // namespace wan::dist

@@ -1,0 +1,36 @@
+// Log-extreme distribution: a Gumbel (extreme-value) law applied to
+// log2 of the variate. Paxson [34] models the number of bytes sent by a
+// TELNET originator as log-extreme with location alpha = log2(100) and
+// scale beta = log2(3.5); Section V of this paper keeps that model for
+// bytes while preferring log-normal for packets.
+#pragma once
+
+#include "src/dist/distribution.hpp"
+
+namespace wan::dist {
+
+/// LogExtreme: log2 X ~ Gumbel(alpha, beta), i.e.
+///   F(x) = exp(-exp(-(log2 x - alpha) / beta)).
+class LogExtreme final : public Distribution {
+ public:
+  /// alpha: location of log2 X; beta: scale of log2 X (> 0).
+  LogExtreme(double alpha, double beta);
+
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  /// E[X] = 2^alpha * Gamma(1 - beta*ln2) when beta*ln2 < 1, else +inf.
+  /// With the paper's beta = log2(3.5), beta*ln2 = ln(3.5) > 1, so the
+  /// modeled byte count has infinite mean — already a heavy-tail signal.
+  double mean() const override;
+  double variance() const override;
+  std::string name() const override;
+
+  double alpha() const { return alpha_; }
+  double beta() const { return beta_; }
+
+ private:
+  double alpha_;
+  double beta_;
+};
+
+}  // namespace wan::dist

@@ -1,0 +1,50 @@
+#include "src/dist/loglogistic.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace wan::dist {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+LogLogistic::LogLogistic(double scale, double shape)
+    : scale_(scale), shape_(shape) {
+  if (!(scale > 0.0))
+    throw std::invalid_argument("LogLogistic: scale must be > 0");
+  if (!(shape > 0.0))
+    throw std::invalid_argument("LogLogistic: shape must be > 0");
+}
+
+double LogLogistic::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  const double r = std::pow(x / scale_, -shape_);
+  return 1.0 / (1.0 + r);
+}
+
+double LogLogistic::quantile(double p) const {
+  return scale_ * std::pow(p / (1.0 - p), 1.0 / shape_);
+}
+
+double LogLogistic::mean() const {
+  if (shape_ <= 1.0) return kInf;
+  const double b = M_PI / shape_;
+  return scale_ * b / std::sin(b);
+}
+
+double LogLogistic::variance() const {
+  if (shape_ <= 2.0) return kInf;
+  const double b = M_PI / shape_;
+  const double m = scale_ * b / std::sin(b);
+  const double ex2 = scale_ * scale_ * 2.0 * b / std::sin(2.0 * b);
+  return ex2 - m * m;
+}
+
+std::string LogLogistic::name() const {
+  return "LogLogistic(scale=" + std::to_string(scale_) +
+         ",shape=" + std::to_string(shape_) + ")";
+}
+
+}  // namespace wan::dist

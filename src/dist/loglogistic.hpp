@@ -1,0 +1,30 @@
+// Log-logistic distribution. Section VI notes the upper tail of
+// intra-session FTPDATA connection spacing is "better approximated using a
+// log-normal or log-logistic distribution" than an exponential.
+#pragma once
+
+#include "src/dist/distribution.hpp"
+
+namespace wan::dist {
+
+/// LogLogistic(scale, shape): F(x) = 1 / (1 + (x/scale)^-shape).
+/// Heavier-than-exponential upper tail: P[X > x] ~ (x/scale)^-shape.
+class LogLogistic final : public Distribution {
+ public:
+  LogLogistic(double scale, double shape);
+
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override;      // +inf for shape <= 1
+  double variance() const override;  // +inf for shape <= 2
+  std::string name() const override;
+
+  double scale() const { return scale_; }
+  double shape() const { return shape_; }
+
+ private:
+  double scale_;
+  double shape_;
+};
+
+}  // namespace wan::dist

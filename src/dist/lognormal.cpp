@@ -1,0 +1,46 @@
+#include "src/dist/lognormal.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/dist/special.hpp"
+
+namespace wan::dist {
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  if (!(sigma > 0.0)) throw std::invalid_argument("LogNormal: sigma must be > 0");
+}
+
+LogNormal LogNormal::from_log2(double mean_log2, double sd_log2) {
+  static const double kLn2 = std::log(2.0);
+  return LogNormal(mean_log2 * kLn2, sd_log2 * kLn2);
+}
+
+double LogNormal::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+double LogNormal::tail(double x) const {
+  if (x <= 0.0) return 1.0;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return 0.5 * std::erfc(z / std::sqrt(2.0));
+}
+
+double LogNormal::quantile(double p) const {
+  return std::exp(mu_ + sigma_ * normal_quantile(p));
+}
+
+double LogNormal::mean() const { return std::exp(mu_ + 0.5 * sigma_ * sigma_); }
+
+double LogNormal::variance() const {
+  const double s2 = sigma_ * sigma_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+
+std::string LogNormal::name() const {
+  return "LogNormal(mu=" + std::to_string(mu_) +
+         ",sigma=" + std::to_string(sigma_) + ")";
+}
+
+}  // namespace wan::dist

@@ -1,0 +1,38 @@
+// Log-normal distribution. The paper models TELNET connection sizes in
+// packets as log2-normal with log2-mean log2(100) and log2-sd 2.24
+// (Section V), and proves in Appendix E that the log-normal is long-tailed
+// (subexponential) but NOT heavy-tailed in the power-law sense, so
+// M/G/inf with log-normal lifetimes is not long-range dependent.
+#pragma once
+
+#include "src/dist/distribution.hpp"
+
+namespace wan::dist {
+
+/// LogNormal: ln X ~ N(mu, sigma^2).
+class LogNormal final : public Distribution {
+ public:
+  LogNormal(double mu, double sigma);
+
+  /// The paper's parameterization: log2 X ~ N(mean_log2, sd_log2^2).
+  /// FULL-TEL uses from_log2(log2(100), 2.24) for packets per connection.
+  static LogNormal from_log2(double mean_log2, double sd_log2);
+
+  double cdf(double x) const override;
+  /// Cancellation-free far tail via erfc (Appendix E's tail analysis
+  /// needs values far below 1e-16).
+  double tail(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override;
+  double variance() const override;
+  std::string name() const override;
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+}  // namespace wan::dist

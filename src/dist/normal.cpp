@@ -1,0 +1,30 @@
+#include "src/dist/normal.hpp"
+
+#include <stdexcept>
+
+#include "src/dist/special.hpp"
+
+namespace wan::dist {
+
+Normal::Normal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  if (!(sigma > 0.0)) throw std::invalid_argument("Normal: sigma must be > 0");
+}
+
+double Normal::cdf(double x) const {
+  return normal_cdf((x - mu_) / sigma_);
+}
+
+double Normal::quantile(double p) const {
+  return mu_ + sigma_ * normal_quantile(p);
+}
+
+std::string Normal::name() const {
+  return "Normal(mu=" + std::to_string(mu_) +
+         ",sigma=" + std::to_string(sigma_) + ")";
+}
+
+double standard_normal(rng::Rng& rng) {
+  return normal_quantile(rng.uniform01_open_below());
+}
+
+}  // namespace wan::dist

@@ -1,0 +1,29 @@
+// Normal distribution — substrate for fractional Gaussian noise
+// generation and for the log-normal's underlying law.
+#pragma once
+
+#include "src/dist/distribution.hpp"
+
+namespace wan::dist {
+
+/// Normal(mu, sigma). Samples by inverse transform (monotone in the
+/// driving uniform, which keeps common-random-number experiments paired).
+class Normal final : public Distribution {
+ public:
+  Normal(double mu, double sigma);
+
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override { return mu_; }
+  double variance() const override { return sigma_ * sigma_; }
+  std::string name() const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+/// One standard normal variate (inverse transform).
+double standard_normal(rng::Rng& rng);
+
+}  // namespace wan::dist

@@ -1,0 +1,102 @@
+#include "src/dist/pareto.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace wan::dist {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+Pareto::Pareto(double location, double shape) : a_(location), beta_(shape) {
+  if (!(location > 0.0)) throw std::invalid_argument("Pareto: location must be > 0");
+  if (!(shape > 0.0)) throw std::invalid_argument("Pareto: shape must be > 0");
+}
+
+double Pareto::cdf(double x) const {
+  if (x <= a_) return 0.0;
+  return 1.0 - std::pow(a_ / x, beta_);
+}
+
+double Pareto::tail(double x) const {
+  if (x <= a_) return 1.0;
+  return std::pow(a_ / x, beta_);
+}
+
+double Pareto::quantile(double p) const {
+  return a_ * std::pow(1.0 - p, -1.0 / beta_);
+}
+
+double Pareto::mean() const {
+  if (beta_ <= 1.0) return kInf;
+  return beta_ * a_ / (beta_ - 1.0);
+}
+
+double Pareto::variance() const {
+  if (beta_ <= 2.0) return kInf;
+  const double b1 = beta_ - 1.0;
+  return a_ * a_ * beta_ / (b1 * b1 * (beta_ - 2.0));
+}
+
+double Pareto::cmex(double x) const {
+  if (beta_ <= 1.0) return kInf;
+  if (x < a_) {
+    // E[X] - x for x below the support.
+    return mean() - x;
+  }
+  return x / (beta_ - 1.0);
+}
+
+std::string Pareto::name() const {
+  return "Pareto(a=" + std::to_string(a_) + ",beta=" + std::to_string(beta_) +
+         ")";
+}
+
+TruncatedPareto::TruncatedPareto(double location, double shape, double upper)
+    : a_(location), beta_(shape), upper_(upper) {
+  if (!(location > 0.0))
+    throw std::invalid_argument("TruncatedPareto: location must be > 0");
+  if (!(shape > 0.0))
+    throw std::invalid_argument("TruncatedPareto: shape must be > 0");
+  if (!(upper > location))
+    throw std::invalid_argument("TruncatedPareto: upper must be > location");
+  norm_ = 1.0 - std::pow(a_ / upper_, beta_);
+}
+
+double TruncatedPareto::cdf(double x) const {
+  if (x <= a_) return 0.0;
+  if (x >= upper_) return 1.0;
+  return (1.0 - std::pow(a_ / x, beta_)) / norm_;
+}
+
+double TruncatedPareto::quantile(double p) const {
+  return a_ * std::pow(1.0 - p * norm_, -1.0 / beta_);
+}
+
+double TruncatedPareto::moment(double k) const {
+  // E[X^k] = Integral a..U of k-th power against density
+  //        = beta a^beta / norm * Integral a..U x^{k-beta-1} dx.
+  const double c = beta_ * std::pow(a_, beta_) / norm_;
+  if (std::abs(k - beta_) < 1e-12) {
+    return c * std::log(upper_ / a_);
+  }
+  const double e = k - beta_;
+  return c * (std::pow(upper_, e) - std::pow(a_, e)) / e;
+}
+
+double TruncatedPareto::mean() const { return moment(1.0); }
+
+double TruncatedPareto::variance() const {
+  const double m = mean();
+  return moment(2.0) - m * m;
+}
+
+std::string TruncatedPareto::name() const {
+  return "TruncatedPareto(a=" + std::to_string(a_) +
+         ",beta=" + std::to_string(beta_) + ",U=" + std::to_string(upper_) +
+         ")";
+}
+
+}  // namespace wan::dist

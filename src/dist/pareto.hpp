@@ -1,0 +1,64 @@
+// Pareto distributions — the heavy-tailed workhorse of the paper
+// (Appendix B): TELNET packet interarrivals (beta ~ 0.9-0.95), FTPDATA
+// burst bytes (0.9 <= beta <= 1.4), connections per burst, and the
+// lifetimes that make M/G/inf asymptotically self-similar (Appendix D).
+#pragma once
+
+#include "src/dist/distribution.hpp"
+
+namespace wan::dist {
+
+/// Classical Pareto with location a > 0 and shape beta > 0:
+///   F(x) = 1 - (a/x)^beta for x >= a.
+/// Infinite variance when beta <= 2, infinite mean when beta <= 1.
+/// Scale-invariant, and "invariant under truncation from below":
+/// X | X > x0 is again Pareto(x0, beta) — Appendix B eq. (2).
+class Pareto final : public Distribution {
+ public:
+  Pareto(double location, double shape);
+
+  double cdf(double x) const override;
+  double tail(double x) const override;  // exact (a/x)^beta, no cancellation
+  double quantile(double p) const override;
+  double mean() const override;      // +inf for beta <= 1
+  double variance() const override;  // +inf for beta <= 2
+  /// CMEX_x = x / (beta - 1) for beta > 1 (linear!); +inf for beta <= 1.
+  double cmex(double x) const override;
+  std::string name() const override;
+
+  double location() const { return a_; }
+  double shape() const { return beta_; }
+
+ private:
+  double a_;
+  double beta_;
+};
+
+/// Pareto truncated to [a, upper]: F(x) = (1-(a/x)^beta) / (1-(a/upper)^beta).
+/// Gives finite moments for any beta; used whenever a simulation needs a
+/// heavy-tailed law with a physically-bounded maximum (e.g. burst bytes
+/// bounded by trace duration times link rate).
+class TruncatedPareto final : public Distribution {
+ public:
+  TruncatedPareto(double location, double shape, double upper);
+
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override;
+  double variance() const override;
+  std::string name() const override;
+
+  double location() const { return a_; }
+  double shape() const { return beta_; }
+  double upper() const { return upper_; }
+
+ private:
+  double moment(double k) const;  // E[X^k]
+
+  double a_;
+  double beta_;
+  double upper_;
+  double norm_;  // 1 - (a/upper)^beta
+};
+
+}  // namespace wan::dist

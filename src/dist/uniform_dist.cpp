@@ -1,0 +1,58 @@
+#include "src/dist/uniform_dist.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wan::dist {
+
+Uniform::Uniform(double lo, double hi) : lo_(lo), hi_(hi) {
+  if (!(lo < hi)) throw std::invalid_argument("Uniform: requires lo < hi");
+}
+
+double Uniform::cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (x - lo_) / (hi_ - lo_);
+}
+
+double Uniform::cmex(double x) const {
+  if (x >= hi_) return 0.0;
+  const double lo = std::max(x, lo_);
+  // Conditional on X > x, X is uniform on (lo, hi): mean (lo+hi)/2.
+  return 0.5 * (lo + hi_) - x;
+}
+
+std::string Uniform::name() const {
+  return "Uniform(" + std::to_string(lo_) + "," + std::to_string(hi_) + ")";
+}
+
+LogUniform::LogUniform(double lo, double hi)
+    : lo_(lo), hi_(hi), log_lo_(std::log(lo)), log_hi_(std::log(hi)) {
+  if (!(lo > 0.0 && lo < hi))
+    throw std::invalid_argument("LogUniform: requires 0 < lo < hi");
+}
+
+double LogUniform::cdf(double x) const {
+  if (x <= lo_) return 0.0;
+  if (x >= hi_) return 1.0;
+  return (std::log(x) - log_lo_) / (log_hi_ - log_lo_);
+}
+
+double LogUniform::quantile(double p) const {
+  return std::exp(log_lo_ + p * (log_hi_ - log_lo_));
+}
+
+double LogUniform::mean() const { return (hi_ - lo_) / (log_hi_ - log_lo_); }
+
+double LogUniform::variance() const {
+  const double m = mean();
+  const double ex2 = (hi_ * hi_ - lo_ * lo_) / (2.0 * (log_hi_ - log_lo_));
+  return ex2 - m * m;
+}
+
+std::string LogUniform::name() const {
+  return "LogUniform(" + std::to_string(lo_) + "," + std::to_string(hi_) + ")";
+}
+
+}  // namespace wan::dist

@@ -1,0 +1,50 @@
+// Uniform distribution on [lo, hi] — Appendix B's example of a
+// light-tailed law (CMEX decreasing in x).
+#pragma once
+
+#include "src/dist/distribution.hpp"
+
+namespace wan::dist {
+
+/// Uniform(lo, hi), lo < hi.
+class Uniform final : public Distribution {
+ public:
+  Uniform(double lo, double hi);
+
+  double cdf(double x) const override;
+  double quantile(double p) const override { return lo_ + p * (hi_ - lo_); }
+  double mean() const override { return 0.5 * (lo_ + hi_); }
+  double variance() const override {
+    const double w = hi_ - lo_;
+    return w * w / 12.0;
+  }
+  double cmex(double x) const override;
+  std::string name() const override;
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Log-uniform on [lo, hi]: log X ~ Uniform. Used for the sub-8 ms
+/// "network dynamics" region of the Tcplib reconstruction, where the
+/// paper's Fig. 3 CDF is nearly linear in log time.
+class LogUniform final : public Distribution {
+ public:
+  /// Requires 0 < lo < hi.
+  LogUniform(double lo, double hi);
+
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override;  // (hi - lo) / ln(hi/lo)
+  double variance() const override;
+  std::string name() const override;
+
+ private:
+  double lo_;
+  double hi_;
+  double log_lo_;
+  double log_hi_;
+};
+
+}  // namespace wan::dist

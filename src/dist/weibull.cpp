@@ -1,0 +1,37 @@
+#include "src/dist/weibull.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wan::dist {
+
+Weibull::Weibull(double scale, double shape) : scale_(scale), shape_(shape) {
+  if (!(scale > 0.0)) throw std::invalid_argument("Weibull: scale must be > 0");
+  if (!(shape > 0.0)) throw std::invalid_argument("Weibull: shape must be > 0");
+}
+
+double Weibull::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return -std::expm1(-std::pow(x / scale_, shape_));
+}
+
+double Weibull::quantile(double p) const {
+  return scale_ * std::pow(-std::log1p(-p), 1.0 / shape_);
+}
+
+double Weibull::mean() const {
+  return scale_ * std::tgamma(1.0 + 1.0 / shape_);
+}
+
+double Weibull::variance() const {
+  const double g1 = std::tgamma(1.0 + 1.0 / shape_);
+  const double g2 = std::tgamma(1.0 + 2.0 / shape_);
+  return scale_ * scale_ * (g2 - g1 * g1);
+}
+
+std::string Weibull::name() const {
+  return "Weibull(scale=" + std::to_string(scale_) +
+         ",shape=" + std::to_string(shape_) + ")";
+}
+
+}  // namespace wan::dist

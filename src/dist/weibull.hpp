@@ -1,0 +1,29 @@
+// Weibull distribution — heavy-tailed in the paper's asymptotic sense
+// when shape < 1 (Appendix B cites [13]); used here for ON/OFF period
+// models and as an alternative lifetime law in M/G/inf ablations.
+#pragma once
+
+#include "src/dist/distribution.hpp"
+
+namespace wan::dist {
+
+/// Weibull(scale, shape): F(x) = 1 - exp(-(x/scale)^shape).
+class Weibull final : public Distribution {
+ public:
+  Weibull(double scale, double shape);
+
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override;
+  double variance() const override;
+  std::string name() const override;
+
+  double scale() const { return scale_; }
+  double shape() const { return shape_; }
+
+ private:
+  double scale_;
+  double shape_;
+};
+
+}  // namespace wan::dist

@@ -1,0 +1,29 @@
+#include "src/dist/zipf.hpp"
+
+#include <cmath>
+
+namespace wan::dist {
+
+double DiscretePareto::pmf(std::uint64_t n) {
+  const double nn = static_cast<double>(n);
+  return 1.0 / ((nn + 1.0) * (nn + 2.0));
+}
+
+double DiscretePareto::cdf(std::uint64_t n) {
+  // Telescoping sum: sum_{k=0}^{n} [1/(k+1) - 1/(k+2)] = 1 - 1/(n+2).
+  return 1.0 - 1.0 / (static_cast<double>(n) + 2.0);
+}
+
+std::uint64_t DiscretePareto::quantile(double p) {
+  // cdf(n) >= p  <=>  n >= 1/(1-p) - 2. The epsilon guards float noise
+  // pushing an exact boundary (e.g. p = 0.9 -> n = 8) up a step.
+  if (p <= 0.0) return 0;
+  const double n = std::ceil(1.0 / (1.0 - p) - 2.0 - 1e-9);
+  return n <= 0.0 ? 0 : static_cast<std::uint64_t>(n);
+}
+
+std::uint64_t DiscretePareto::sample(rng::Rng& rng) const {
+  return quantile(rng.uniform01());
+}
+
+}  // namespace wan::dist

@@ -1,0 +1,35 @@
+// The paper's discrete Pareto (Zipf) law, Appendix B:
+//   P[r = n] = 1 / ((n+1)(n+2)), n >= 0,
+// which arises for platoon lengths of cars on an infinite road — the
+// analogy Paxson & Floyd note is "suggestively analogous to computer
+// network traffic". Infinite mean.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/rng/rng.hpp"
+
+namespace wan::dist {
+
+/// Discrete Pareto (Zipf) distribution over n = 0, 1, 2, ...
+class DiscretePareto {
+ public:
+  DiscretePareto() = default;
+
+  /// P[r = n].
+  static double pmf(std::uint64_t n);
+
+  /// P[r <= n] = 1 - 1/(n+2).
+  static double cdf(std::uint64_t n);
+
+  /// Smallest n with cdf(n) >= p.
+  static std::uint64_t quantile(double p);
+
+  /// Draws one variate by inverse transform.
+  std::uint64_t sample(rng::Rng& rng) const;
+
+  static std::string name() { return "DiscretePareto"; }
+};
+
+}  // namespace wan::dist

@@ -1,0 +1,131 @@
+#include "src/fft/fft.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wan::fft {
+
+bool is_power_of_two(std::size_t n) noexcept {
+  return n >= 1 && (n & (n - 1)) == 0;
+}
+
+std::size_t next_power_of_two(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_pow2(std::span<cd> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (!is_power_of_two(n))
+    throw std::invalid_argument("fft_pow2: size must be a power of two");
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const cd wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      cd w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cd u = data[i + k];
+        const cd v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+namespace {
+
+// Bluestein's algorithm: express an arbitrary-length DFT as a
+// convolution, evaluated with a power-of-two FFT.
+std::vector<cd> bluestein(std::span<const cd> data, bool inverse) {
+  const std::size_t n = data.size();
+  const std::size_t m = next_power_of_two(2 * n + 1);
+  const double sign = inverse ? 1.0 : -1.0;
+
+  // Chirp w[k] = exp(sign * i * pi * k^2 / n).
+  std::vector<cd> w(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n avoids precision loss for large k.
+    const std::size_t k2 = (k * k) % (2 * n);
+    const double ang = sign * M_PI * static_cast<double>(k2) /
+                       static_cast<double>(n);
+    w[k] = cd(std::cos(ang), std::sin(ang));
+  }
+
+  std::vector<cd> a(m, cd(0.0, 0.0));
+  std::vector<cd> b(m, cd(0.0, 0.0));
+  for (std::size_t k = 0; k < n; ++k) a[k] = data[k] * w[k];
+  b[0] = std::conj(w[0]);
+  for (std::size_t k = 1; k < n; ++k) {
+    b[k] = std::conj(w[k]);
+    b[m - k] = std::conj(w[k]);
+  }
+
+  fft_pow2(a, false);
+  fft_pow2(b, false);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  fft_pow2(a, true);
+  const double inv_m = 1.0 / static_cast<double>(m);
+
+  std::vector<cd> out(n);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * inv_m * w[k];
+  return out;
+}
+
+}  // namespace
+
+std::vector<cd> fft(std::span<const cd> data) {
+  std::vector<cd> out(data.begin(), data.end());
+  if (out.empty()) return out;
+  if (is_power_of_two(out.size())) {
+    fft_pow2(out, false);
+    return out;
+  }
+  return bluestein(data, false);
+}
+
+std::vector<cd> ifft(std::span<const cd> data) {
+  std::vector<cd> out(data.begin(), data.end());
+  if (out.empty()) return out;
+  if (is_power_of_two(out.size())) {
+    fft_pow2(out, true);
+  } else {
+    out = bluestein(data, true);
+  }
+  const double inv_n = 1.0 / static_cast<double>(out.size());
+  for (cd& v : out) v *= inv_n;
+  return out;
+}
+
+std::vector<cd> fft_real(std::span<const double> data) {
+  std::vector<cd> cx(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) cx[i] = cd(data[i], 0.0);
+  return fft(cx);
+}
+
+std::vector<double> circular_autocorrelation(std::span<const double> x) {
+  auto spec = fft_real(x);
+  std::vector<cd> power(spec.size());
+  for (std::size_t i = 0; i < spec.size(); ++i)
+    power[i] = cd(std::norm(spec[i]), 0.0);
+  auto corr = ifft(power);
+  std::vector<double> out(corr.size());
+  for (std::size_t i = 0; i < corr.size(); ++i) out[i] = corr[i].real();
+  return out;
+}
+
+}  // namespace wan::fft

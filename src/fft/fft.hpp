@@ -1,0 +1,41 @@
+// Fast Fourier transform substrate, implemented from scratch:
+//  - iterative radix-2 Cooley-Tukey for power-of-two lengths,
+//  - Bluestein's chirp-z algorithm for arbitrary lengths,
+// plus helpers for real input and circular (auto)correlation. Used by the
+// periodogram / Whittle estimator and by Davies-Harte fGn generation.
+#pragma once
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace wan::fft {
+
+using cd = std::complex<double>;
+
+/// True if n is a power of two (n >= 1).
+bool is_power_of_two(std::size_t n) noexcept;
+
+/// Smallest power of two >= n.
+std::size_t next_power_of_two(std::size_t n) noexcept;
+
+/// In-place radix-2 FFT. data.size() must be a power of two.
+/// inverse=true computes the unnormalized inverse transform; divide by N
+/// yourself if you need the unitary convention (or use ifft()).
+void fft_pow2(std::span<cd> data, bool inverse);
+
+/// FFT of arbitrary length (Bluestein for non powers of two).
+std::vector<cd> fft(std::span<const cd> data);
+
+/// Inverse FFT of arbitrary length, normalized by 1/N.
+std::vector<cd> ifft(std::span<const cd> data);
+
+/// FFT of real input; returns the full complex spectrum of length n.
+std::vector<cd> fft_real(std::span<const double> data);
+
+/// Circular autocorrelation sums via FFT:
+///   r[k] = sum_i x[i] * x[(i+k) mod n].
+/// Callers that want linear (non-circular) sums should zero-pad first.
+std::vector<double> circular_autocorrelation(std::span<const double> x);
+
+}  // namespace wan::fft

@@ -1,0 +1,34 @@
+#include "src/fft/periodogram.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/fft/fft.hpp"
+
+namespace wan::fft {
+
+Periodogram periodogram(std::span<const double> x) {
+  const std::size_t n = x.size();
+  if (n < 4) throw std::invalid_argument("periodogram: series too short");
+
+  const double mean =
+      std::accumulate(x.begin(), x.end(), 0.0) / static_cast<double>(n);
+  std::vector<double> centered(n);
+  for (std::size_t i = 0; i < n; ++i) centered[i] = x[i] - mean;
+
+  const auto spec = fft_real(centered);
+  const std::size_t m = (n - 1) / 2;
+  Periodogram out;
+  out.frequency.resize(m);
+  out.ordinate.resize(m);
+  const double scale = 1.0 / (2.0 * M_PI * static_cast<double>(n));
+  for (std::size_t j = 1; j <= m; ++j) {
+    out.frequency[j - 1] =
+        2.0 * M_PI * static_cast<double>(j) / static_cast<double>(n);
+    out.ordinate[j - 1] = std::norm(spec[j]) * scale;
+  }
+  return out;
+}
+
+}  // namespace wan::fft

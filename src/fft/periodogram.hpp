@@ -1,0 +1,22 @@
+// Periodogram estimation — the raw spectral input to Whittle's estimator
+// and Beran's goodness-of-fit test (Section VII).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace wan::fft {
+
+/// Result of periodogram(): ordinates I(lambda_j) at the Fourier
+/// frequencies lambda_j = 2*pi*j/n, j = 1..floor((n-1)/2).
+struct Periodogram {
+  std::vector<double> frequency;  ///< lambda_j in (0, pi)
+  std::vector<double> ordinate;   ///< I(lambda_j)
+};
+
+/// Computes I(lambda_j) = |sum_t (x_t - mean) e^{-i lambda_j t}|^2 / (2 pi n).
+/// The mean is removed so the j = 0 ordinate (which would be dominated by
+/// the level of the series) is excluded, as is standard.
+Periodogram periodogram(std::span<const double> x);
+
+}  // namespace wan::fft

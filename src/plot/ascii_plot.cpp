@@ -1,0 +1,140 @@
+#include "src/plot/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace wan::plot {
+
+std::string fmt(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+  return buf;
+}
+
+namespace {
+
+struct Bounds {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  void take(double v) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  bool valid() const { return lo < hi; }
+};
+
+double transform(double v, bool log_scale) {
+  return log_scale ? std::log10(v) : v;
+}
+
+}  // namespace
+
+std::string render(const std::vector<Series>& series,
+                   const AxesConfig& axes) {
+  Bounds bx, by;
+  for (const Series& s : series) {
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      if ((axes.log_x && s.x[i] <= 0.0) || (axes.log_y && s.y[i] <= 0.0))
+        continue;
+      bx.take(transform(s.x[i], axes.log_x));
+      by.take(transform(s.y[i], axes.log_y));
+    }
+  }
+  if (!bx.valid() || !by.valid()) {
+    // Degenerate data: widen so a single point still renders.
+    if (!bx.valid()) {
+      bx.lo = std::isfinite(bx.lo) ? bx.lo - 1.0 : 0.0;
+      bx.hi = bx.lo + 2.0;
+    }
+    if (!by.valid()) {
+      by.lo = std::isfinite(by.lo) ? by.lo - 1.0 : 0.0;
+      by.hi = by.lo + 2.0;
+    }
+  }
+
+  const std::size_t w = std::max<std::size_t>(axes.width, 16);
+  const std::size_t h = std::max<std::size_t>(axes.height, 6);
+  std::vector<std::string> grid(h, std::string(w, ' '));
+
+  for (const Series& s : series) {
+    for (std::size_t i = 0; i < s.x.size() && i < s.y.size(); ++i) {
+      if ((axes.log_x && s.x[i] <= 0.0) || (axes.log_y && s.y[i] <= 0.0))
+        continue;
+      const double tx = transform(s.x[i], axes.log_x);
+      const double ty = transform(s.y[i], axes.log_y);
+      const double fx = (tx - bx.lo) / (bx.hi - bx.lo);
+      const double fy = (ty - by.lo) / (by.hi - by.lo);
+      auto col = static_cast<std::size_t>(fx * static_cast<double>(w - 1));
+      auto row = static_cast<std::size_t>((1.0 - fy) *
+                                          static_cast<double>(h - 1));
+      col = std::min(col, w - 1);
+      row = std::min(row, h - 1);
+      grid[row][col] = s.glyph;
+    }
+  }
+
+  std::ostringstream os;
+  if (!axes.title.empty()) os << axes.title << "\n";
+  const auto axis_val = [](double v, bool log_scale) {
+    return log_scale ? std::pow(10.0, v) : v;
+  };
+  char buf[32];
+  for (std::size_t r = 0; r < h; ++r) {
+    if (r == 0) {
+      std::snprintf(buf, sizeof(buf), "%10.3g", axis_val(by.hi, axes.log_y));
+      os << buf;
+    } else if (r == h - 1) {
+      std::snprintf(buf, sizeof(buf), "%10.3g", axis_val(by.lo, axes.log_y));
+      os << buf;
+    } else {
+      os << std::string(10, ' ');
+    }
+    os << " |" << grid[r] << "\n";
+  }
+  os << std::string(11, ' ') << '+' << std::string(w, '-') << "\n";
+  std::snprintf(buf, sizeof(buf), "%-12.3g", axis_val(bx.lo, axes.log_x));
+  os << std::string(12, ' ') << buf;
+  os << std::string(w > 36 ? w - 36 : 1, ' ');
+  std::snprintf(buf, sizeof(buf), "%12.3g", axis_val(bx.hi, axes.log_x));
+  os << buf << "\n";
+  if (!axes.x_label.empty() || !axes.y_label.empty()) {
+    os << "            x: " << axes.x_label << "   y: " << axes.y_label
+       << "\n";
+  }
+  for (const Series& s : series) {
+    os << "            " << s.glyph << " = " << s.label << "\n";
+  }
+  return os.str();
+}
+
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> widths(header.size(), 0);
+  for (std::size_t c = 0; c < header.size(); ++c)
+    widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  }
+
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      os << v << std::string(widths[c] - v.size() + 2, ' ');
+    }
+    os << "\n";
+  };
+  emit(header);
+  std::size_t total = 0;
+  for (std::size_t wdt : widths) total += wdt + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows) emit(row);
+  return os.str();
+}
+
+}  // namespace wan::plot

@@ -1,0 +1,39 @@
+// Terminal plotting for the benchmark harnesses: multi-series scatter
+// plots on linear or logarithmic axes, rendered as text so every figure
+// of the paper can be eyeballed straight from a bench run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wan::plot {
+
+struct Series {
+  std::string label;
+  char glyph = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+struct AxesConfig {
+  bool log_x = false;
+  bool log_y = false;
+  std::size_t width = 72;   ///< plot area columns
+  std::size_t height = 20;  ///< plot area rows
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+};
+
+/// Renders series into a text plot. Points with nonpositive coordinates
+/// on a log axis are skipped.
+std::string render(const std::vector<Series>& series, const AxesConfig& axes);
+
+/// Renders a simple aligned table: header row + rows of cells.
+std::string render_table(const std::vector<std::string>& header,
+                         const std::vector<std::vector<std::string>>& rows);
+
+/// Formats a double with `prec` significant digits (helper for tables).
+std::string fmt(double v, int prec = 4);
+
+}  // namespace wan::plot

@@ -1,0 +1,31 @@
+#include "src/plot/series_io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace wan::plot {
+
+void write_columns_csv(const std::string& path,
+                       const std::vector<std::string>& names,
+                       const std::vector<std::vector<double>>& columns) {
+  if (names.size() != columns.size())
+    throw std::invalid_argument("write_columns_csv: names/columns mismatch");
+  std::ofstream os(path);
+  if (!os)
+    throw std::runtime_error("write_columns_csv: cannot open " + path);
+
+  for (std::size_t c = 0; c < names.size(); ++c) {
+    os << names[c] << (c + 1 < names.size() ? ',' : '\n');
+  }
+  std::size_t max_len = 0;
+  for (const auto& col : columns) max_len = std::max(max_len, col.size());
+  for (std::size_t r = 0; r < max_len; ++r) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (r < columns[c].size()) os << columns[c][r];
+      os << (c + 1 < columns.size() ? ',' : '\n');
+    }
+  }
+}
+
+}  // namespace wan::plot

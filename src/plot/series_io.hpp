@@ -1,0 +1,16 @@
+// CSV export of plot series so the benches' figures can be re-rendered
+// with external tools (gnuplot, matplotlib, R).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wan::plot {
+
+/// Writes columns to a CSV file with the given header names. Columns may
+/// have unequal lengths; missing cells are left empty.
+void write_columns_csv(const std::string& path,
+                       const std::vector<std::string>& names,
+                       const std::vector<std::vector<double>>& columns);
+
+}  // namespace wan::plot

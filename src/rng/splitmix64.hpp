@@ -1,0 +1,27 @@
+// SplitMix64: a tiny, fast 64-bit generator used here only for seeding
+// larger-state generators (Xoshiro256++). Reference: Steele, Lea &
+// Flood, "Fast Splittable Pseudorandom Number Generators", OOPSLA 2014.
+#pragma once
+
+#include <cstdint>
+
+namespace wan::rng {
+
+/// SplitMix64 generator. Every output of next() is a full-period walk of a
+/// 64-bit counter passed through a bijective finalizer, so any seed —
+/// including 0 — is acceptable.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  /// Next 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Current internal counter (useful for tests / serialization).
+  std::uint64_t state() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace wan::rng

@@ -1,0 +1,41 @@
+#include "src/selfsim/farima.hpp"
+
+#include <stdexcept>
+
+#include "src/dist/normal.hpp"
+
+namespace wan::selfsim {
+
+std::vector<double> farima_ma_coefficients(double d, std::size_t order) {
+  if (!(d > -0.5 && d < 0.5))
+    throw std::invalid_argument("farima: d must be in (-1/2, 1/2)");
+  std::vector<double> psi(order);
+  if (order == 0) return psi;
+  psi[0] = 1.0;
+  for (std::size_t j = 1; j < order; ++j) {
+    // psi_j = psi_{j-1} * (j - 1 + d) / j.
+    psi[j] = psi[j - 1] * ((static_cast<double>(j) - 1.0 + d) /
+                           static_cast<double>(j));
+  }
+  return psi;
+}
+
+std::vector<double> generate_farima(rng::Rng& rng, std::size_t n, double d,
+                                    double sigma, std::size_t ma_order) {
+  const auto psi = farima_ma_coefficients(d, ma_order);
+  // Innovations for t = -(ma_order-1) .. n-1.
+  std::vector<double> eps(n + ma_order - 1);
+  for (double& e : eps) e = sigma * dist::standard_normal(rng);
+
+  std::vector<double> x(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    double s = 0.0;
+    // eps index for lag j: eps[(t + ma_order - 1) - j].
+    const std::size_t base = t + ma_order - 1;
+    for (std::size_t j = 0; j < ma_order; ++j) s += psi[j] * eps[base - j];
+    x[t] = s;
+  }
+  return x;
+}
+
+}  // namespace wan::selfsim

@@ -1,0 +1,26 @@
+// Fractional ARIMA(0, d, 0) — the alternative long-memory family the
+// paper names when traces show long-range dependence but fail the fGn
+// goodness-of-fit ("better fits to other self-similar models such as
+// fractional ARIMA processes", Section VII-D).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/rng/rng.hpp"
+
+namespace wan::selfsim {
+
+/// Generates n points of fractional ARIMA(0, d, 0) with innovation sd
+/// sigma via the truncated MA(inf) representation
+///   X_t = sum_j psi_j eps_{t-j},  psi_j = Gamma(j + d) / (Gamma(j+1) Gamma(d)),
+/// truncating at `ma_order` terms. Long-range dependent for 0 < d < 1/2
+/// with Hurst H = d + 1/2.
+std::vector<double> generate_farima(rng::Rng& rng, std::size_t n, double d,
+                                    double sigma = 1.0,
+                                    std::size_t ma_order = 4096);
+
+/// The MA coefficients psi_0 .. psi_{order-1} (exposed for tests).
+std::vector<double> farima_ma_coefficients(double d, std::size_t order);
+
+}  // namespace wan::selfsim

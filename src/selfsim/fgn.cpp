@@ -1,0 +1,82 @@
+#include "src/selfsim/fgn.hpp"
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+#include "src/dist/normal.hpp"
+#include "src/fft/fft.hpp"
+
+namespace wan::selfsim {
+
+double fgn_autocovariance(std::size_t lag, double hurst) {
+  const double k = static_cast<double>(lag);
+  const double two_h = 2.0 * hurst;
+  if (lag == 0) return 1.0;
+  return 0.5 * (std::pow(k + 1.0, two_h) - 2.0 * std::pow(k, two_h) +
+                std::pow(k - 1.0, two_h));
+}
+
+std::vector<double> generate_fgn(rng::Rng& rng, std::size_t n, double hurst,
+                                 double sigma) {
+  if (n == 0) return {};
+  if (!(hurst > 0.0 && hurst < 1.0))
+    throw std::invalid_argument("generate_fgn: H must be in (0,1)");
+  if (n == 1) return {sigma * dist::standard_normal(rng)};
+
+  // Circulant embedding of the covariance over M = 2(n-1) points:
+  // c = [g(0), g(1), ..., g(n-1), g(n-2), ..., g(1)].
+  const std::size_t m = 2 * (n - 1);
+  std::vector<fft::cd> c(m);
+  for (std::size_t k = 0; k < n; ++k)
+    c[k] = fft::cd(fgn_autocovariance(k, hurst), 0.0);
+  for (std::size_t k = 1; k + 1 < n; ++k)
+    c[m - k] = fft::cd(fgn_autocovariance(k, hurst), 0.0);
+
+  auto eig = fft::fft(c);
+  // Eigenvalues are real for a symmetric circulant; clip tiny negative
+  // values from roundoff, reject materially negative ones.
+  std::vector<double> lambda(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    double v = eig[j].real();
+    if (v < 0.0) {
+      if (v < -1e-8 * static_cast<double>(m))
+        throw std::runtime_error("generate_fgn: embedding not PSD");
+      v = 0.0;
+    }
+    lambda[j] = v;
+  }
+
+  // Synthesize the spectrum with the right Hermitian symmetry.
+  std::vector<fft::cd> z(m);
+  const double half = static_cast<double>(m) / 2.0;
+  z[0] = fft::cd(std::sqrt(lambda[0]) * dist::standard_normal(rng), 0.0);
+  z[m / 2] =
+      fft::cd(std::sqrt(lambda[m / 2]) * dist::standard_normal(rng), 0.0);
+  for (std::size_t j = 1; j < m / 2; ++j) {
+    const double a = dist::standard_normal(rng);
+    const double b = dist::standard_normal(rng);
+    const double s = std::sqrt(lambda[j] / 2.0);
+    z[j] = fft::cd(s * a, s * b);
+    z[m - j] = std::conj(z[j]);
+  }
+
+  auto x = fft::fft(z);
+  std::vector<double> out(n);
+  const double scale = sigma / std::sqrt(2.0 * half);
+  for (std::size_t i = 0; i < n; ++i) out[i] = x[i].real() * scale;
+  return out;
+}
+
+std::vector<double> generate_fbm(rng::Rng& rng, std::size_t n, double hurst,
+                                 double sigma) {
+  auto fgn = generate_fgn(rng, n, hurst, sigma);
+  double cum = 0.0;
+  for (double& v : fgn) {
+    cum += v;
+    v = cum;
+  }
+  return fgn;
+}
+
+}  // namespace wan::selfsim

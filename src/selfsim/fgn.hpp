@@ -1,0 +1,31 @@
+// Fractional Gaussian noise — the "simplest type of self-similar
+// process" the paper tests traces against (Section VII). Exact sampling
+// via Davies-Harte circulant embedding (Davies & Harte 1987), which is
+// O(n log n) and reproduces the target autocovariance exactly.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/rng/rng.hpp"
+
+namespace wan::selfsim {
+
+/// Autocovariance of fGn with Hurst H and unit variance:
+///   gamma(k) = 1/2 (|k+1|^{2H} - 2|k|^{2H} + |k-1|^{2H}).
+/// Exactly self-similar: the aggregated process has the same correlation
+/// structure (the r(k) of Appendix D's "exactly self-similar" display).
+double fgn_autocovariance(std::size_t lag, double hurst);
+
+/// Generates n points of zero-mean fGn with the given Hurst parameter and
+/// marginal standard deviation. Throws if the circulant embedding is not
+/// nonnegative definite (cannot happen for fGn with 0 < H < 1, but the
+/// check guards numerical trouble).
+std::vector<double> generate_fgn(rng::Rng& rng, std::size_t n, double hurst,
+                                 double sigma = 1.0);
+
+/// Fractional Brownian motion: cumulative sum of fGn (convenience).
+std::vector<double> generate_fbm(rng::Rng& rng, std::size_t n, double hurst,
+                                 double sigma = 1.0);
+
+}  // namespace wan::selfsim

@@ -1,0 +1,59 @@
+#include "src/selfsim/hurst_report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <vector>
+
+#include "src/stats/counting.hpp"
+
+namespace wan::selfsim {
+
+double HurstReport::consensus() const {
+  std::vector<double> e = {vt_hurst, rs_hurst, gph_hurst, whittle_fgn_hurst,
+                           whittle_farima_hurst};
+  std::sort(e.begin(), e.end());
+  return e[e.size() / 2];
+}
+
+std::string HurstReport::to_string() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "H estimates: VT %.3f | R/S %.3f | GPH %.3f | Whittle-fGn %.3f "
+      "(+-%.3f) | Whittle-fARIMA %.3f\n"
+      "consensus %.3f; Beran p = %.3f -> %s",
+      vt_hurst, rs_hurst, gph_hurst, whittle_fgn_hurst, whittle_fgn_stderr,
+      whittle_farima_hurst, consensus(), beran_p_value,
+      fgn_consistent ? "consistent with fGn" : "NOT fGn");
+  return buf;
+}
+
+HurstReport hurst_report(std::span<const double> counts,
+                         const HurstReportConfig& config) {
+  if (counts.size() < 512)
+    throw std::invalid_argument("hurst_report: need >= 512 observations");
+
+  HurstReport out;
+  const auto vt = stats::variance_time_plot(counts);
+  out.vt_hurst = vt.hurst(config.vt_m_lo, config.vt_m_hi);
+
+  // Aggregate for the frequency-domain and R/S estimators.
+  std::vector<double> series(counts.begin(), counts.end());
+  while (series.size() > config.max_series_length)
+    series = stats::aggregate_mean(series, 2);
+
+  out.rs_hurst = stats::rs_analysis(series).hurst();
+  out.gph_hurst = stats::gph_estimator(series).hurst;
+
+  const auto beran = stats::beran_fgn_test(series, config.alpha);
+  out.whittle_fgn_hurst = beran.whittle.hurst;
+  out.whittle_fgn_stderr = beran.whittle.stderr_hurst;
+  out.beran_p_value = beran.p_value;
+  out.fgn_consistent = beran.consistent;
+
+  out.whittle_farima_hurst = stats::whittle_farima(series).hurst;
+  return out;
+}
+
+}  // namespace wan::selfsim

@@ -1,0 +1,48 @@
+// One-call Hurst estimation battery: every estimator the paper uses (or
+// that became standard right after it) applied to one count process,
+// with the Beran goodness-of-fit verdict. This is the public entry point
+// for "is this traffic self-similar, and with what H?".
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "src/stats/beran.hpp"
+#include "src/stats/gph.hpp"
+#include "src/stats/rs_analysis.hpp"
+#include "src/stats/variance_time.hpp"
+#include "src/stats/whittle.hpp"
+
+namespace wan::selfsim {
+
+struct HurstReport {
+  double vt_hurst = 0.5;        ///< variance-time slope estimate
+  double rs_hurst = 0.5;        ///< rescaled-range estimate
+  double gph_hurst = 0.5;       ///< log-periodogram estimate
+  double whittle_fgn_hurst = 0.5;
+  double whittle_fgn_stderr = 0.0;
+  double whittle_farima_hurst = 0.5;
+  double beran_p_value = 1.0;
+  bool fgn_consistent = false;  ///< Beran verdict at 5%
+
+  /// Median of the point estimates — a robust single answer.
+  double consensus() const;
+
+  /// Multi-line human-readable rendering.
+  std::string to_string() const;
+};
+
+struct HurstReportConfig {
+  /// Frequency-domain estimators run on a series aggregated down to at
+  /// most this length (keeps Whittle affordable on multi-hour traces).
+  std::size_t max_series_length = 8192;
+  std::size_t vt_m_lo = 4;       ///< variance-time fit range
+  std::size_t vt_m_hi = 4000;
+  double alpha = 0.05;           ///< Beran significance level
+};
+
+/// Runs the battery on a count series (length >= 512).
+HurstReport hurst_report(std::span<const double> counts,
+                         const HurstReportConfig& config = {});
+
+}  // namespace wan::selfsim

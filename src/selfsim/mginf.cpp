@@ -1,0 +1,127 @@
+#include "src/selfsim/mginf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace wan::selfsim {
+
+std::vector<double> mginf_count_process(rng::Rng& rng,
+                                        const dist::Distribution& lifetime,
+                                        std::size_t n,
+                                        const MgInfConfig& config) {
+  if (!(config.arrival_rate > 0.0))
+    throw std::invalid_argument("mginf: arrival_rate must be > 0");
+  const double t_start = -config.warmup;
+  const double t_end = static_cast<double>(n);
+
+  // Difference array over the n observation times 0..n-1: a customer
+  // occupying [a, a+s) is present at integer t iff a <= t < a+s.
+  std::vector<double> diff(n + 1, 0.0);
+  double t = t_start;
+  while (true) {
+    t += -std::log(rng.uniform01_open_below()) / config.arrival_rate;
+    if (t >= t_end) break;
+    const double s =
+        std::min(lifetime.sample(rng), config.max_lifetime);
+    const double lo = std::ceil(t);
+    const double hi = std::ceil(t + s);  // first integer NOT covered
+    if (hi <= 0.0 || lo >= t_end) continue;
+    const auto i_lo = static_cast<std::size_t>(std::max(lo, 0.0));
+    const auto i_hi =
+        static_cast<std::size_t>(std::min(hi, static_cast<double>(n)));
+    if (i_lo >= i_hi) continue;
+    diff[i_lo] += 1.0;
+    diff[i_hi] -= 1.0;
+  }
+
+  std::vector<double> counts(n, 0.0);
+  double run = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    run += diff[i];
+    counts[i] = run;
+  }
+  return counts;
+}
+
+double mginf_autocovariance(const dist::Distribution& lifetime, double rate,
+                            double lag, double integration_cap) {
+  // r(k) = rate * Integral_k^inf (1 - F(x)) dx, trapezoid on a geometric
+  // grid from lag outward.
+  double integral = 0.0;
+  double t = std::max(lag, 1e-12);
+  double step = std::max(1e-4, 1e-3 * t);
+  while (t < integration_cap) {
+    const double t2 = t + step;
+    const double f1 = 1.0 - lifetime.cdf(t);
+    const double f2 = 1.0 - lifetime.cdf(t2);
+    integral += 0.5 * (f1 + f2) * step;
+    t = t2;
+    step *= 1.02;
+    if (f2 < 1e-14) break;
+  }
+  return rate * integral;
+}
+
+std::vector<double> mgk_count_process(rng::Rng& rng,
+                                      const dist::Distribution& service,
+                                      std::size_t n_servers, std::size_t n,
+                                      const MgInfConfig& config) {
+  if (n_servers == 0)
+    throw std::invalid_argument("mgk: need at least one server");
+  if (!(config.arrival_rate > 0.0))
+    throw std::invalid_argument("mgk: arrival_rate must be > 0");
+
+  const double t_start = -config.warmup;
+  const double t_end = static_cast<double>(n);
+
+  // Event simulation: arrivals in time order; a min-heap of in-service
+  // departure times; a FIFO of queued service demands.
+  std::priority_queue<double, std::vector<double>, std::greater<>> in_service;
+  std::queue<double> waiting;  // service demands of queued customers
+
+  std::vector<double> counts(n, 0.0);
+  std::size_t next_obs = 0;
+
+  auto drain_until = [&](double now) {
+    // Complete departures and promote queued customers, in departure
+    // order, until the earliest remaining departure exceeds `now`.
+    while (!in_service.empty() && in_service.top() <= now) {
+      const double dep = in_service.top();
+      // Record observations that occur before this departure.
+      while (next_obs < n && static_cast<double>(next_obs) < dep) {
+        counts[next_obs] =
+            static_cast<double>(in_service.size() + waiting.size());
+        ++next_obs;
+      }
+      in_service.pop();
+      if (!waiting.empty()) {
+        in_service.push(dep + waiting.front());
+        waiting.pop();
+      }
+    }
+    while (next_obs < n && static_cast<double>(next_obs) < now) {
+      counts[next_obs] =
+          static_cast<double>(in_service.size() + waiting.size());
+      ++next_obs;
+    }
+  };
+
+  double t = t_start;
+  while (true) {
+    t += -std::log(rng.uniform01_open_below()) / config.arrival_rate;
+    if (t >= t_end) break;
+    drain_until(t);
+    const double s = std::min(service.sample(rng), config.max_lifetime);
+    if (in_service.size() < n_servers) {
+      in_service.push(t + s);
+    } else {
+      waiting.push(s);
+    }
+  }
+  drain_until(t_end + 1.0);
+  return counts;
+}
+
+}  // namespace wan::selfsim

@@ -1,0 +1,55 @@
+// The M/G/infinity construction of Appendix D (and its Appendix E
+// counterexample): customers arrive Poisson(rate); each stays for an
+// i.i.d. lifetime from a given distribution; X_t counts customers in the
+// system at integer times.
+//
+//  * Pareto lifetimes with 1 < beta < 2  -> asymptotically self-similar,
+//    long-range dependent count process (Appendix D);
+//  * log-normal lifetimes               -> NOT long-range dependent
+//    (Appendix E), though long-tailed enough to look correlated over
+//    finite scales.
+//
+// The marginal of X_t is Poisson with mean rate * E[lifetime].
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/dist/distribution.hpp"
+#include "src/rng/rng.hpp"
+
+namespace wan::selfsim {
+
+struct MgInfConfig {
+  double arrival_rate = 1.0;  ///< customers per unit time
+  /// Warm-up span simulated before observation starts, so the system is
+  /// (approximately) in steady state when counting begins. With
+  /// heavy-tailed lifetimes true stationarity is unreachable in finite
+  /// time; larger warm-up gets closer.
+  double warmup = 1000.0;
+  /// Lifetimes are clipped to this bound to keep memory finite.
+  double max_lifetime = 1e7;
+};
+
+/// Simulates the count process X_0 .. X_{n-1} (observations at integer
+/// times) of an M/G/inf queue with the given lifetime law.
+std::vector<double> mginf_count_process(rng::Rng& rng,
+                                        const dist::Distribution& lifetime,
+                                        std::size_t n,
+                                        const MgInfConfig& config = {});
+
+/// Theoretical autocovariance r(k) = rate * Integral_k^inf (1 - F(x)) dx
+/// (the paper's eq. 4), evaluated numerically. Returns +inf if the
+/// integral diverges slowly enough that the cutoff is hit (beta <= 1).
+double mginf_autocovariance(const dist::Distribution& lifetime, double rate,
+                            double lag, double integration_cap = 1e9);
+
+/// M/G/k: same arrivals and service law, but only k servers — Section
+/// VII's suggestion for incorporating limited bandwidth. Returns the
+/// number *in system* (in service + queued) at integer times.
+std::vector<double> mgk_count_process(rng::Rng& rng,
+                                      const dist::Distribution& service,
+                                      std::size_t n_servers, std::size_t n,
+                                      const MgInfConfig& config = {});
+
+}  // namespace wan::selfsim

@@ -1,0 +1,35 @@
+// ON/OFF source aggregation — the first of the paper's "methods for
+// producing self-similar traffic" (Section VII-B, after [28]):
+// multiplexing many sources that alternate between a fixed-rate ON state
+// and a silent OFF state, with heavy-tailed period lengths, yields
+// (asymptotically) self-similar aggregate traffic.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "src/dist/distribution.hpp"
+#include "src/rng/rng.hpp"
+
+namespace wan::selfsim {
+
+struct OnOffConfig {
+  std::size_t n_sources = 50;
+  double rate_on = 1.0;     ///< arrivals per unit time while ON
+  double bin_width = 1.0;   ///< observation bin width
+  /// Each source starts in ON or OFF uniformly, with a randomized
+  /// residual first period to reduce synchronization artifacts.
+  bool randomize_phase = true;
+};
+
+/// Simulates the aggregate count process (arrivals per bin) of N ON/OFF
+/// sources over n_bins. ON and OFF period lengths are drawn i.i.d. from
+/// the given distributions (use Pareto with 1 < beta < 2 for
+/// self-similarity; exponential for the Poisson-like control).
+std::vector<double> onoff_aggregate_counts(
+    rng::Rng& rng, const dist::Distribution& on_periods,
+    const dist::Distribution& off_periods, std::size_t n_bins,
+    const OnOffConfig& config = {});
+
+}  // namespace wan::selfsim

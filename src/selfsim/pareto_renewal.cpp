@@ -1,0 +1,93 @@
+#include "src/selfsim/pareto_renewal.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/dist/pareto.hpp"
+#include "src/stats/descriptive.hpp"
+
+namespace wan::selfsim {
+
+std::vector<double> pareto_renewal_counts(rng::Rng& rng, std::size_t n_bins,
+                                          const ParetoRenewalConfig& config) {
+  if (!(config.bin_width > 0.0))
+    throw std::invalid_argument("pareto_renewal: bin_width must be > 0");
+  if (!(config.location > 0.0 && config.shape > 0.0))
+    throw std::invalid_argument("pareto_renewal: bad Pareto parameters");
+  const double horizon = static_cast<double>(n_bins) * config.bin_width;
+  const double a = config.location;
+  const double beta = config.shape;
+
+  // The beta ~ 1 processes of Figs. 14-15 produce ~T/ln T arrivals over
+  // the horizon — hundreds of millions at b = 1e7 — so the sampling loop
+  // is written without virtual dispatch, and the canonical shapes avoid
+  // pow() entirely: quantile(u) = a * u^{-1/beta}.
+  enum class Fast { kInvU, kInvSqrtU, kInvU2, kGeneric };
+  Fast fast = Fast::kGeneric;
+  if (beta == 1.0) fast = Fast::kInvU;        // a / u
+  else if (beta == 2.0) fast = Fast::kInvSqrtU;  // a / sqrt(u)
+  else if (beta == 0.5) fast = Fast::kInvU2;  // a / u^2
+  const double neg_inv_beta = -1.0 / beta;
+
+  std::vector<double> counts(n_bins, 0.0);
+  const double inv_bin = 1.0 / config.bin_width;
+  double t = 0.0;
+  while (true) {
+    const double u = rng.uniform01_open_below();
+    double gap;
+    switch (fast) {
+      case Fast::kInvU: gap = a / u; break;
+      case Fast::kInvSqrtU: gap = a / std::sqrt(u); break;
+      case Fast::kInvU2: gap = a / (u * u); break;
+      default: gap = a * std::pow(u, neg_inv_beta); break;
+    }
+    t += gap;
+    if (t >= horizon) break;
+    const auto idx = static_cast<std::size_t>(t * inv_bin);
+    counts[std::min(idx, n_bins - 1)] += 1.0;
+  }
+  return counts;
+}
+
+double paper_burst_bins_approx(double beta, double bin_width,
+                               double location) {
+  const double ratio = bin_width / location;
+  if (std::abs(beta - 2.0) < 0.25) return ratio;
+  if (std::abs(beta - 1.0) < 0.25) return std::log(std::max(ratio, 1.0));
+  if (beta < 0.75) {
+    // E[geometric(p)] with p ~ (a/b)^beta ... for beta = 1/2 the paper
+    // gives E[Gamma(3/2)^{-1}]-style constants; the key property is
+    // b-independence. Return the constant regime.
+    return 1.0 / (1.0 - std::exp(-1.0));  // ~1.58 bins, b-independent
+  }
+  // Crude interpolation between the log and linear regimes.
+  return std::pow(ratio, beta - 1.0) * std::log(std::max(ratio, 1.0));
+}
+
+BurstLullScaling burst_lull_scaling(rng::Rng& rng,
+                                    std::span<const double> bin_widths,
+                                    std::size_t n_bins, double location,
+                                    double shape) {
+  BurstLullScaling out;
+  for (double b : bin_widths) {
+    ParetoRenewalConfig cfg;
+    cfg.location = location;
+    cfg.shape = shape;
+    cfg.bin_width = b;
+    const auto counts = pareto_renewal_counts(rng, n_bins, cfg);
+    const auto bl = stats::burst_lull_structure(counts);
+
+    out.bin_widths.push_back(b);
+    out.mean_burst_bins.push_back(bl.mean_burst_bins());
+    out.mean_lull_bins.push_back(bl.mean_lull_bins());
+
+    std::vector<double> lulls(bl.lull_lengths.begin(),
+                              bl.lull_lengths.end());
+    out.median_lull_bins.push_back(
+        lulls.empty() ? 0.0 : stats::median(lulls));
+  }
+  return out;
+}
+
+}  // namespace wan::selfsim

@@ -1,0 +1,57 @@
+// Appendix C: the "pseudo-self-similar" count process built from i.i.d.
+// Pareto interarrivals with beta ~ 1. Its burst/lull structure looks
+// self-similar over many finite time scales (Figs. 14-15) — bursts grow
+// only logarithmically with bin width while lull lengths (in bins) are
+// *distribution-invariant* under aggregation — yet the process is NOT
+// truly long-range dependent: for beta <= 1 the expected lull is
+// infinite, every bin is eventually empty with probability 1, and the
+// autocorrelation is summable.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/rng/rng.hpp"
+#include "src/stats/counting.hpp"
+
+namespace wan::selfsim {
+
+struct ParetoRenewalConfig {
+  double location = 1.0;  ///< Pareto location a
+  double shape = 1.0;     ///< Pareto shape beta (the paper plots beta = 1)
+  double bin_width = 1e3; ///< b; Figs. 14/15 use 1e3 and 1e7
+};
+
+/// Generates the count process of n_bins bins of width b, with arrivals
+/// at partial sums of i.i.d. Pareto(a, beta) interarrivals. Memory is
+/// O(n_bins) regardless of the (possibly astronomically large) number of
+/// arrivals, because counts are accumulated on the fly.
+std::vector<double> pareto_renewal_counts(rng::Rng& rng, std::size_t n_bins,
+                                          const ParetoRenewalConfig& config);
+
+/// The paper's Appendix C approximation for the expected number of bins
+/// spanned by a burst of occupied bins:
+///   beta = 2   : ~ b / a          (bursts lengthen linearly with b)
+///   beta = 1   : ~ log(b / a)     (bursts lengthen only logarithmically)
+///   beta = 1/2 : ~ E[Gamma(3/2)]-ish constant (independent of b!)
+/// Evaluated for those three canonical shapes; other shapes interpolate
+/// crudely between regimes and are primarily for qualitative use.
+double paper_burst_bins_approx(double beta, double bin_width,
+                               double location);
+
+/// Burst/lull statistics of a generated count process at several bin
+/// widths — the Appendix C aggregation-invariance experiment in one call.
+struct BurstLullScaling {
+  std::vector<double> bin_widths;
+  std::vector<double> mean_burst_bins;
+  std::vector<double> mean_lull_bins;
+  std::vector<double> median_lull_bins;
+};
+
+BurstLullScaling burst_lull_scaling(rng::Rng& rng,
+                                    std::span<const double> bin_widths,
+                                    std::size_t n_bins, double location,
+                                    double shape);
+
+}  // namespace wan::selfsim

@@ -1,0 +1,72 @@
+#include "src/sim/admission.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace wan::sim {
+
+AdmissionResult simulate_admission(rng::Rng& rng,
+                                   std::span<const double> background,
+                                   const AdmissionConfig& config) {
+  if (background.empty())
+    throw std::invalid_argument("simulate_admission: empty background");
+  if (!(config.capacity > 0.0) || !(config.flow_rate > 0.0))
+    throw std::invalid_argument("simulate_admission: bad capacity/rate");
+
+  AdmissionResult out;
+  out.slots = background.size();
+
+  // Active flows, as remaining holding slots.
+  std::vector<std::uint64_t> flows;
+  double ewma = background.front();
+  double bg_sum = 0.0, total_sum = 0.0, flows_sum = 0.0;
+  std::size_t overload_slots = 0;
+
+  for (double bg : background) {
+    // Expire flows.
+    for (auto& remain : flows) --remain;
+    flows.erase(std::remove(flows.begin(), flows.end(), 0ull), flows.end());
+
+    const double admitted_demand =
+        config.flow_rate * static_cast<double>(flows.size());
+
+    // A new request?
+    if (rng.bernoulli(config.request_prob)) {
+      ++out.requests;
+      if (ewma + config.flow_rate <
+          config.capacity * config.headroom) {
+        ++out.admitted;
+        // Geometric holding time with the configured mean (>= 1 slot).
+        const double u = rng.uniform01_open_below();
+        const double p = 1.0 / std::max(config.mean_holding_slots, 1.0);
+        const double k = std::ceil(std::log(u) / std::log1p(-p));
+        flows.push_back(
+            static_cast<std::uint64_t>(std::max(1.0, k)));
+      }
+    }
+
+    const double total = bg + admitted_demand;
+    bg_sum += bg;
+    total_sum += total;
+    flows_sum += static_cast<double>(flows.size());
+    if (total > config.capacity) {
+      ++overload_slots;
+      out.worst_overload =
+          std::max(out.worst_overload, total - config.capacity);
+    }
+
+    // The controller's view: smoothed recent measurement of the total.
+    ewma = (1.0 - config.ewma_alpha) * ewma + config.ewma_alpha * total;
+  }
+
+  const double n = static_cast<double>(out.slots);
+  out.mean_background = bg_sum / n;
+  out.mean_total = total_sum / n;
+  out.overload_fraction = static_cast<double>(overload_slots) / n;
+  out.mean_admitted_flows = flows_sum / n;
+  return out;
+}
+
+}  // namespace wan::sim

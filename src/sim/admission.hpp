@@ -1,0 +1,53 @@
+// Measurement-based admission control — Section VIII's second
+// implication: an admissions procedure "that considers only recent
+// traffic could be easily misled following a long period of fairly low
+// traffic rates" when the measured class is long-range dependent. (The
+// paper's California-earthquake analogy.)
+//
+// Model: a background load process (any count series, e.g. M/G/inf with
+// Pareto vs exponential lifetimes scaled to equal means) shares a link
+// of given capacity with admitted flows. Flow requests arrive each slot
+// (Bernoulli); the controller admits a flow of fixed rate r if its
+// *measurement* of recent total load (EWMA) plus r fits under
+// capacity * headroom. Admitted flows hold r units for a random number
+// of slots. We record how often the *actual* total demand exceeds
+// capacity — overload the controller failed to prevent.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "src/rng/rng.hpp"
+
+namespace wan::sim {
+
+struct AdmissionConfig {
+  double capacity = 100.0;
+  double headroom = 0.85;         ///< admit while EWMA + r < capacity*headroom
+  double ewma_alpha = 0.02;       ///< measurement smoothing per slot
+  double flow_rate = 5.0;         ///< each admitted flow's demand
+  double request_prob = 0.08;     ///< chance of a new request per slot
+  /// Admitted flows hold capacity for a long time relative to the
+  /// measurement window — the dangerous regime: commitments made during
+  /// a lull are still around when the swell returns.
+  double mean_holding_slots = 1500.0;
+};
+
+struct AdmissionResult {
+  std::size_t slots = 0;
+  std::size_t requests = 0;
+  std::size_t admitted = 0;
+  double mean_background = 0.0;
+  double mean_total = 0.0;
+  double overload_fraction = 0.0;   ///< slots with total demand > capacity
+  double worst_overload = 0.0;      ///< max(total - capacity)
+  double mean_admitted_flows = 0.0; ///< time-average concurrent flows
+};
+
+/// Runs the slotted admission-control simulation over the background
+/// series (one value per slot).
+AdmissionResult simulate_admission(rng::Rng& rng,
+                                   std::span<const double> background,
+                                   const AdmissionConfig& config = {});
+
+}  // namespace wan::sim

@@ -1,0 +1,104 @@
+#include "src/sim/priority.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+
+namespace wan::sim {
+
+PriorityStats simulate_priority(std::span<const double> high_arrivals,
+                                std::span<const double> low_arrivals,
+                                const PriorityConfig& config) {
+  PriorityStats stats;
+  stats.high.arrived = high_arrivals.size();
+  stats.low.arrived = low_arrivals.size();
+
+  std::deque<double> high_q, low_q;  // arrival times of waiting packets
+  std::vector<double> high_delays, low_delays;
+  high_delays.reserve(high_arrivals.size());
+  low_delays.reserve(low_arrivals.size());
+
+  std::size_t hi = 0, li = 0;
+  double server_free = 0.0;
+  double busy = 0.0;
+  double current_starvation_start = -1.0;
+
+  const double t_start = std::min(
+      high_arrivals.empty() ? 1e300 : high_arrivals.front(),
+      low_arrivals.empty() ? 1e300 : low_arrivals.front());
+
+  // Event sweep: the next event is either an arrival or (implicitly) a
+  // service completion; we process arrivals in order and between them
+  // drain the queues.
+  const auto serve_until = [&](double now) {
+    while (server_free <= now && (!high_q.empty() || !low_q.empty())) {
+      const bool take_high = !high_q.empty();
+      const double arr = take_high ? high_q.front() : low_q.front();
+      const double svc =
+          take_high ? config.service_time_high : config.service_time_low;
+      if (take_high) {
+        high_q.pop_front();
+        high_delays.push_back(server_free - arr + svc);
+        ++stats.high.served;
+      } else {
+        low_q.pop_front();
+        const double delay = server_free - arr + svc;
+        low_delays.push_back(delay);
+        ++stats.low.served;
+        if (delay > config.starvation_threshold) {
+          if (current_starvation_start < 0.0)
+            current_starvation_start = arr;
+        } else if (current_starvation_start >= 0.0) {
+          stats.max_low_starvation =
+              std::max(stats.max_low_starvation,
+                       server_free - current_starvation_start);
+          ++stats.starvation_episodes;
+          current_starvation_start = -1.0;
+        }
+      }
+      busy += svc;
+      server_free += svc;
+    }
+  };
+
+  while (hi < high_arrivals.size() || li < low_arrivals.size()) {
+    const double next_h =
+        hi < high_arrivals.size() ? high_arrivals[hi] : 1e300;
+    const double next_l = li < low_arrivals.size() ? low_arrivals[li] : 1e300;
+    const double t = std::min(next_h, next_l);
+    serve_until(t);
+    if (server_free < t) server_free = t;
+    if (next_h <= next_l) {
+      if (hi > 0 && high_arrivals[hi] < high_arrivals[hi - 1])
+        throw std::invalid_argument("simulate_priority: high not sorted");
+      high_q.push_back(next_h);
+      ++hi;
+    } else {
+      if (li > 0 && low_arrivals[li] < low_arrivals[li - 1])
+        throw std::invalid_argument("simulate_priority: low not sorted");
+      low_q.push_back(next_l);
+      ++li;
+    }
+  }
+  serve_until(1e300);
+  if (current_starvation_start >= 0.0) {
+    stats.max_low_starvation = std::max(
+        stats.max_low_starvation, server_free - current_starvation_start);
+    ++stats.starvation_episodes;
+  }
+
+  const auto fill = [](QueueStats* q, std::vector<double>& delays) {
+    q->mean_delay = stats::mean(delays);
+    q->max_delay = delays.empty() ? 0.0 : stats::max_value(delays);
+    q->p99_delay = delays.empty() ? 0.0 : stats::quantile(delays, 0.99);
+  };
+  fill(&stats.high, high_delays);
+  fill(&stats.low, low_delays);
+  const double horizon = server_free - t_start;
+  stats.high.utilization = horizon > 0.0 ? busy / horizon : 0.0;
+  stats.low.utilization = stats.high.utilization;
+  return stats;
+}
+
+}  // namespace wan::sim

@@ -1,0 +1,42 @@
+// Two-class non-preemptive priority queueing — Section VIII's first
+// implication: "If the higher priority class has long-range dependence
+// and a high degree of variability over long time scales, then the
+// bursts from the higher priority traffic could starve the lower
+// priority traffic for long periods of time."
+//
+// Interactive (e.g. TELNET) packets get strict priority over bulk
+// (e.g. FTP) packets at a shared link; we measure what the bulk class
+// suffers, including the duration of its starvation episodes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/sim/fifo.hpp"
+
+namespace wan::sim {
+
+struct PriorityStats {
+  QueueStats high;  ///< the priority class
+  QueueStats low;   ///< the background class
+  /// Longest stretch of simulated time during which at least one low-
+  /// priority packet was continuously waiting.
+  double max_low_starvation = 0.0;
+  /// Number of distinct episodes where a low packet waited longer than
+  /// `starvation_threshold`.
+  std::size_t starvation_episodes = 0;
+};
+
+struct PriorityConfig {
+  double service_time_high = 0.001;  ///< seconds per high packet
+  double service_time_low = 0.01;    ///< seconds per low packet
+  double starvation_threshold = 1.0; ///< what counts as "starved"
+};
+
+/// Simulates strict non-preemptive priority service of the two sorted
+/// arrival streams.
+PriorityStats simulate_priority(std::span<const double> high_arrivals,
+                                std::span<const double> low_arrivals,
+                                const PriorityConfig& config = {});
+
+}  // namespace wan::sim

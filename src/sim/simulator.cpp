@@ -1,0 +1,32 @@
+#include "src/sim/simulator.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace wan::sim {
+
+void Simulator::schedule_at(double t, Action action) {
+  if (t < now_)
+    throw std::invalid_argument("Simulator: cannot schedule in the past");
+  queue_.push(Event{t, next_seq_++, std::move(action)});
+}
+
+void Simulator::run_until(double until) {
+  while (!queue_.empty() && queue_.top().time <= until) {
+    // Copy out before pop: the action may schedule further events.
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.action();
+  }
+  // Advance the clock to the horizon — but run() passes +inf to mean
+  // "drain everything", where the clock should stop at the last event.
+  if (std::isfinite(until) && now_ < until) now_ = until;
+}
+
+void Simulator::run() {
+  run_until(std::numeric_limits<double>::infinity());
+}
+
+}  // namespace wan::sim

@@ -1,0 +1,55 @@
+// A minimal discrete-event simulation engine: a clock and a stable
+// time-ordered event queue. Components schedule closures; the engine
+// runs them in (time, insertion-order) sequence.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace wan::sim {
+
+/// Discrete-event simulator.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  double now() const noexcept { return now_; }
+
+  /// Schedules `action` at absolute time t (must be >= now()).
+  void schedule_at(double t, Action action);
+
+  /// Schedules `action` `delay` seconds from now.
+  void schedule_in(double delay, Action action) {
+    schedule_at(now_ + delay, std::move(action));
+  }
+
+  /// Runs events until the queue drains or the clock passes `until`.
+  /// Events scheduled exactly at `until` are executed.
+  void run_until(double until);
+
+  /// Runs until the queue is empty.
+  void run();
+
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;  // tie-breaker for stable ordering
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace wan::sim

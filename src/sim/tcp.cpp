@@ -1,0 +1,206 @@
+#include "src/sim/tcp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wan::sim {
+
+TcpTrace simulate_tcp_transfer(std::size_t n_packets,
+                               const TcpConfig& config) {
+  TcpTrace trace;
+  if (n_packets == 0) return trace;
+
+  const double per_round_capacity = config.bottleneck_rate * config.rtt;
+  if (!(per_round_capacity > 0.0))
+    throw std::invalid_argument("simulate_tcp_transfer: zero capacity");
+
+  double cwnd = 1.0;
+  double ssthresh = config.initial_ssthresh;
+  double queue = 0.0;   // packets standing in the bottleneck buffer
+  double credit = 0.0;  // fractional service carried between rounds
+                        // (capacities below 1 pkt/round must still drain)
+  std::size_t remaining = n_packets;
+  double t = 0.0;
+
+  for (std::size_t round = 0;
+       round < config.max_rounds && (remaining > 0 || queue > 0.0);
+       ++round) {
+    trace.cwnd_by_round.push_back(cwnd);
+
+    // Self-clocking: the window covers packets in flight, which includes
+    // those parked in the bottleneck buffer. Only the shortfall is new.
+    const double new_pkts = std::min(
+        static_cast<double>(remaining), std::max(0.0, cwnd - queue));
+    trace.packets_sent += static_cast<std::size_t>(new_pkts);
+    remaining -= static_cast<std::size_t>(new_pkts);
+
+    const double offered = queue + new_pkts;
+    const double drained = std::min(offered, per_round_capacity);
+    double backlog = offered - drained;
+    double dropped = 0.0;
+    if (backlog > static_cast<double>(config.buffer_packets)) {
+      dropped = backlog - static_cast<double>(config.buffer_packets);
+      backlog = static_cast<double>(config.buffer_packets);
+      // Dropped packets must be retransmitted eventually.
+      remaining += static_cast<std::size_t>(std::ceil(dropped));
+    }
+    queue = backlog;
+    trace.queue_by_round.push_back(queue);
+    trace.packets_dropped += static_cast<std::size_t>(std::ceil(dropped));
+
+    // Emit departures as an ack-clocked *train* at the head of the round
+    // (Jain & Routhier's packet trains — the paper's [25]): a window's
+    // packets travel clustered, followed by a lull until the next window
+    // of acks. Retransmission accounting rounds drops up, so clamp
+    // deliveries at the transfer size.
+    credit += drained;
+    const auto whole = static_cast<std::size_t>(credit);
+    const auto n_out =
+        std::min<std::size_t>(whole, n_packets - trace.packets_delivered);
+    credit -= static_cast<double>(whole);
+    const double train_spacing =
+        config.rtt / (3.0 * static_cast<double>(std::max<std::size_t>(
+                                n_out, 1)));
+    for (std::size_t i = 0; i < n_out; ++i) {
+      trace.departure_times.push_back(t + static_cast<double>(i + 1) *
+                                              train_spacing);
+      ++trace.packets_delivered;
+    }
+
+    // Window update.
+    if (dropped > 0.0) {
+      ssthresh = std::max(2.0, cwnd / 2.0);
+      cwnd = ssthresh;  // fast recovery, not a timeout collapse
+    } else if (cwnd < ssthresh) {
+      cwnd = std::min(cwnd * 2.0, ssthresh);  // slow start
+    } else {
+      cwnd += 1.0;  // congestion avoidance
+    }
+    t += config.rtt;
+    if (trace.packets_delivered >= n_packets) break;
+  }
+
+  trace.completion_time = t;
+  trace.mean_throughput =
+      t > 0.0 ? static_cast<double>(trace.packets_delivered) / t : 0.0;
+  return trace;
+}
+
+namespace {
+
+struct Flow {
+  double cwnd = 1.0;
+  double ssthresh = 64.0;
+  double queue = 0.0;       // this flow's packets in the shared buffer
+  double credit = 0.0;      // fractional service carried between rounds
+  std::size_t remaining = 0;
+  std::size_t delivered = 0;
+  double completion = -1.0;
+};
+
+}  // namespace
+
+TcpShared simulate_tcp_shared(std::size_t n_flows, std::size_t n_packets,
+                              const TcpConfig& config) {
+  TcpShared out;
+  if (n_flows == 0) return out;
+
+  const double per_round_capacity = config.bottleneck_rate * config.rtt;
+  if (!(per_round_capacity > 0.0))
+    throw std::invalid_argument("simulate_tcp_shared: zero capacity");
+
+  std::vector<Flow> flows(n_flows);
+  for (Flow& f : flows) {
+    f.ssthresh = config.initial_ssthresh;
+    f.remaining = n_packets;
+  }
+
+  double t = 0.0;
+  std::size_t active = n_flows;
+
+  for (std::size_t round = 0; round < config.max_rounds && active > 0;
+       ++round) {
+    // Offered load this round: standing queues plus self-clocked new
+    // packets per flow.
+    double offered = 0.0;
+    std::vector<double> flow_offer(n_flows, 0.0);
+    for (std::size_t i = 0; i < n_flows; ++i) {
+      Flow& f = flows[i];
+      const double new_pkts =
+          std::min(static_cast<double>(f.remaining),
+                   std::max(0.0, f.cwnd - f.queue));
+      f.remaining -= static_cast<std::size_t>(new_pkts);
+      flow_offer[i] = f.queue + new_pkts;
+      offered += flow_offer[i];
+    }
+
+    const double drained = std::min(offered, per_round_capacity);
+    const double share = offered > 0.0 ? drained / offered : 0.0;
+    const double backlog = offered - drained;
+    const bool congested =
+        backlog > static_cast<double>(config.buffer_packets);
+    // If the buffer overflows, leftovers shrink proportionally and the
+    // overflow is dropped (to be resent).
+    const double keep =
+        congested && backlog > 0.0
+            ? static_cast<double>(config.buffer_packets) / backlog
+            : 1.0;
+
+    std::size_t emitted = 0;
+    for (std::size_t i = 0; i < n_flows; ++i) {
+      Flow& f = flows[i];
+      if (flow_offer[i] <= 0.0) {
+        // Nothing in flight; still update the idle window gently.
+        continue;
+      }
+      const double served = flow_offer[i] * share;
+      const double leftover = (flow_offer[i] - served) * keep;
+      const double dropped = (flow_offer[i] - served) - leftover;
+      f.queue = leftover;
+      f.remaining += static_cast<std::size_t>(std::ceil(dropped));
+
+      // Deliveries: fractional accounting, emitted when a whole packet
+      // accumulates (no service leaks between rounds).
+      f.credit += served;
+      const auto whole = static_cast<std::size_t>(f.credit);
+      f.credit -= static_cast<double>(whole);
+      const std::size_t grant =
+          std::min<std::size_t>(whole, n_packets - f.delivered);
+      for (std::size_t k = 0; k < grant; ++k) {
+        out.aggregate_departures.push_back(
+            t + config.rtt * static_cast<double>(emitted + k + 1) /
+                    std::max(1.0, drained));
+      }
+      emitted += grant;
+      f.delivered += grant;
+      if (f.delivered >= n_packets && f.completion < 0.0) {
+        f.completion = t + config.rtt;
+        --active;
+      }
+
+      // Window update.
+      if (congested && dropped > 0.0) {
+        f.ssthresh = std::max(2.0, f.cwnd / 2.0);
+        f.cwnd = f.ssthresh;
+      } else if (f.cwnd < f.ssthresh) {
+        f.cwnd = std::min(f.cwnd * 2.0, f.ssthresh);
+      } else {
+        f.cwnd += 1.0;
+      }
+    }
+    t += config.rtt;
+  }
+
+  std::sort(out.aggregate_departures.begin(), out.aggregate_departures.end());
+  for (const Flow& f : flows) {
+    const double done = f.completion < 0.0 ? t : f.completion;
+    out.completion_times.push_back(done);
+    out.mean_rates.push_back(done > 0.0
+                                 ? static_cast<double>(f.delivered) / done
+                                 : 0.0);
+  }
+  return out;
+}
+
+}  // namespace wan::sim

@@ -1,0 +1,44 @@
+#include "src/stats/batch_means.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "src/stats/autocorr.hpp"
+#include "src/stats/descriptive.hpp"
+
+namespace wan::stats {
+
+BatchMeansResult batch_means(std::span<const double> x, std::size_t batches) {
+  if (batches < 2) throw std::invalid_argument("batch_means: need >= 2 batches");
+  if (x.size() < batches * 2)
+    throw std::invalid_argument("batch_means: series too short");
+
+  BatchMeansResult out;
+  out.batches = batches;
+  out.batch_size = x.size() / batches;
+
+  std::vector<double> means(batches, 0.0);
+  for (std::size_t b = 0; b < batches; ++b) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < out.batch_size; ++i)
+      s += x[b * out.batch_size + i];
+    means[b] = s / static_cast<double>(out.batch_size);
+  }
+
+  out.mean = mean(means);
+  const double s = stddev(means);
+  out.half_width = 1.96 * s / std::sqrt(static_cast<double>(batches));
+  out.lag1_between_batches = lag1_autocorrelation(means);
+  return out;
+}
+
+double effective_sample_size(std::span<const double> x) {
+  if (x.size() < 3)
+    throw std::invalid_argument("effective_sample_size: series too short");
+  const double r1 = std::clamp(lag1_autocorrelation(x), -0.999, 0.999);
+  return static_cast<double>(x.size()) * (1.0 - r1) / (1.0 + r1);
+}
+
+}  // namespace wan::stats

@@ -1,0 +1,31 @@
+// Batch-means confidence intervals — proper output analysis for the
+// simulations in this library. Raw simulation series are autocorrelated
+// (that is the whole subject of the paper), so the naive s/sqrt(n)
+// interval is wrong; batch means over large blocks restore approximate
+// independence.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace wan::stats {
+
+struct BatchMeansResult {
+  double mean = 0.0;
+  double half_width = 0.0;   ///< 95% CI half-width from batch means
+  std::size_t batches = 0;
+  std::size_t batch_size = 0;
+  double lag1_between_batches = 0.0;  ///< residual correlation diagnostic
+};
+
+/// Computes the batch-means estimate of the steady-state mean with a 95%
+/// normal-approximation CI. `batches` in [8, 64] is customary; batch
+/// size is derived from the series length.
+BatchMeansResult batch_means(std::span<const double> x,
+                             std::size_t batches = 32);
+
+/// Effective sample size n * (1 - r1) / (1 + r1) from the lag-1
+/// autocorrelation — the quick-and-dirty alternative.
+double effective_sample_size(std::span<const double> x);
+
+}  // namespace wan::stats

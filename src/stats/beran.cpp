@@ -1,0 +1,42 @@
+#include "src/stats/beran.hpp"
+
+#include <cmath>
+
+#include "src/dist/special.hpp"
+#include "src/fft/periodogram.hpp"
+
+namespace wan::stats {
+
+BeranResult beran_fgn_test(std::span<const double> x, double alpha) {
+  const auto pg = fft::periodogram(x);
+  BeranResult r;
+  r.whittle = whittle_fgn_from_periodogram(pg);
+
+  const std::size_t m = pg.frequency.size();
+  double sum_ratio = 0.0;
+  double sum_ratio2 = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    const double f =
+        r.whittle.scale * fgn_spectral_density(pg.frequency[j], r.whittle.hurst);
+    const double ratio = pg.ordinate[j] / f;
+    sum_ratio += ratio;
+    sum_ratio2 += ratio * ratio;
+  }
+  // Beran's sums run over the full symmetric set of Fourier frequencies
+  // (j = 1..n-1); the periodogram and fGn density are symmetric, so the
+  // half-range sums are simply doubled. With that convention
+  // E[T_n] -> 1/pi.
+  const double n = static_cast<double>(x.size());
+  const double a_n = (2.0 * M_PI / n) * 2.0 * sum_ratio2;
+  const double b = (2.0 * M_PI / n) * 2.0 * sum_ratio;
+  const double b_n = b * b;
+  r.statistic = a_n / b_n;
+
+  r.z = std::sqrt(n) * (r.statistic - 1.0 / M_PI) /
+        std::sqrt(2.0 / (M_PI * M_PI));
+  r.p_value = 2.0 * (1.0 - dist::normal_cdf(std::abs(r.z)));
+  r.consistent = r.p_value >= alpha;
+  return r;
+}
+
+}  // namespace wan::stats

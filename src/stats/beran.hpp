@@ -1,0 +1,30 @@
+// Beran's goodness-of-fit test for long-memory time-series models
+// (Beran, JRSS-B 54(3):749-760, 1992), used by the paper to judge whether
+// traces are consistent with fractional Gaussian noise.
+//
+// With I the periodogram and f the fitted spectral density, the statistic
+//   T_n = A_n / B_n,  A_n = (2 pi / n) sum_j (I_j / f_j)^2,
+//                     B_n = [ (2 pi / n) sum_j I_j / f_j ]^2 ... (per-n
+// normalization cancels in the ratio), satisfies under the null
+//   sqrt(n) (T_n - 1/pi) -> N(0, 2/pi^2).
+#pragma once
+
+#include <span>
+
+#include "src/stats/whittle.hpp"
+
+namespace wan::stats {
+
+struct BeranResult {
+  double statistic = 0.0;  ///< T_n
+  double z = 0.0;          ///< standardized statistic
+  double p_value = 0.0;    ///< two-sided
+  bool consistent = false; ///< p >= alpha
+  WhittleResult whittle;   ///< the fitted fGn model
+};
+
+/// Fits fGn by Whittle's method and runs Beran's goodness-of-fit test at
+/// level alpha.
+BeranResult beran_fgn_test(std::span<const double> x, double alpha = 0.05);
+
+}  // namespace wan::stats

@@ -1,0 +1,39 @@
+// Binomial significance machinery for Appendix A: given that each
+// interval-level test has a 5% false-negative rate, the number of passing
+// intervals under the null is Binomial(N, 0.95); a trace is declared
+// inconsistent with Poisson only when the observed pass count is itself
+// improbably low. The sign test for consistently positive/negative lag-1
+// correlation is Binomial(N, 0.5).
+#pragma once
+
+#include <cstdint>
+
+namespace wan::stats {
+
+/// log(n choose k), exact via lgamma.
+double log_binomial_coefficient(std::uint64_t n, std::uint64_t k);
+
+/// P[X = k] for X ~ Binomial(n, p).
+double binomial_pmf(std::uint64_t n, std::uint64_t k, double p);
+
+/// P[X <= k] (lower tail).
+double binomial_cdf(std::uint64_t n, std::uint64_t k, double p);
+
+/// P[X >= k] (upper tail).
+double binomial_sf(std::uint64_t n, std::uint64_t k, double p);
+
+/// Appendix A acceptance rule: with N intervals tested and K passing an
+/// individual test whose null pass-probability is `p_pass` (0.95 for a 5%
+/// level), the trace is *consistent* with the null unless
+/// P[Binomial(N, p_pass) <= K] < alpha.
+bool binomial_consistent(std::uint64_t n_tested, std::uint64_t n_passed,
+                         double p_pass = 0.95, double alpha = 0.05);
+
+/// Sign-bias verdict for lag-1 correlations: +1 if significantly more
+/// positive than expected under fairness, -1 if significantly more
+/// negative, 0 otherwise (each tail tested at alpha/2 as in the paper's
+/// "< 2.5%" rule).
+int sign_bias(std::uint64_t n_tested, std::uint64_t n_positive,
+              double alpha = 0.05);
+
+}  // namespace wan::stats

@@ -1,0 +1,82 @@
+#include "src/stats/counting.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wan::stats {
+
+std::vector<double> bin_counts(std::span<const double> times, double t0,
+                               double t1, double bin) {
+  if (!(bin > 0.0)) throw std::invalid_argument("bin_counts: bin must be > 0");
+  if (!(t1 > t0)) throw std::invalid_argument("bin_counts: t1 must be > t0");
+  const auto nbins = static_cast<std::size_t>(std::ceil((t1 - t0) / bin));
+  std::vector<double> counts(nbins, 0.0);
+  for (double t : times) {
+    if (t < t0 || t >= t1) continue;
+    auto idx = static_cast<std::size_t>((t - t0) / bin);
+    if (idx >= nbins) idx = nbins - 1;  // guard float edge at t1
+    counts[idx] += 1.0;
+  }
+  return counts;
+}
+
+std::vector<double> aggregate_mean(std::span<const double> x, std::size_t m) {
+  if (m == 0) throw std::invalid_argument("aggregate_mean: m must be >= 1");
+  std::vector<double> out;
+  out.reserve(x.size() / m);
+  for (std::size_t i = 0; i + m <= x.size(); i += m) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < m; ++j) s += x[i + j];
+    out.push_back(s / static_cast<double>(m));
+  }
+  return out;
+}
+
+std::vector<double> aggregate_sum(std::span<const double> x, std::size_t m) {
+  if (m == 0) throw std::invalid_argument("aggregate_sum: m must be >= 1");
+  std::vector<double> out;
+  out.reserve(x.size() / m);
+  for (std::size_t i = 0; i + m <= x.size(); i += m) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < m; ++j) s += x[i + j];
+    out.push_back(s);
+  }
+  return out;
+}
+
+double BurstLull::mean_burst_bins() const {
+  if (burst_lengths.empty()) return 0.0;
+  double s = 0.0;
+  for (auto v : burst_lengths) s += static_cast<double>(v);
+  return s / static_cast<double>(burst_lengths.size());
+}
+
+double BurstLull::mean_lull_bins() const {
+  if (lull_lengths.empty()) return 0.0;
+  double s = 0.0;
+  for (auto v : lull_lengths) s += static_cast<double>(v);
+  return s / static_cast<double>(lull_lengths.size());
+}
+
+BurstLull burst_lull_structure(std::span<const double> counts) {
+  BurstLull out;
+  std::size_t run = 0;
+  bool occupied = false;
+  for (double c : counts) {
+    const bool occ = c > 0.0;
+    if (run == 0) {
+      occupied = occ;
+      run = 1;
+    } else if (occ == occupied) {
+      ++run;
+    } else {
+      (occupied ? out.burst_lengths : out.lull_lengths).push_back(run);
+      occupied = occ;
+      run = 1;
+    }
+  }
+  if (run > 0) (occupied ? out.burst_lengths : out.lull_lengths).push_back(run);
+  return out;
+}
+
+}  // namespace wan::stats

@@ -1,0 +1,37 @@
+// Count-process helpers: turning event (arrival) time sequences into the
+// binned count series that variance-time plots, Whittle estimation and
+// Appendix C analyses operate on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wan::stats {
+
+/// Number of events in each bin of width `bin` covering [t0, t1).
+/// Events outside [t0, t1) are ignored. times need not be sorted.
+std::vector<double> bin_counts(std::span<const double> times, double t0,
+                               double t1, double bin);
+
+/// Aggregates a count series by non-overlapping blocks of m, *averaging*
+/// within each block (the paper's "smoothed" process of aggregation
+/// level M). A trailing partial block is dropped.
+std::vector<double> aggregate_mean(std::span<const double> x, std::size_t m);
+
+/// Same but summing within blocks (the count view at coarser resolution).
+std::vector<double> aggregate_sum(std::span<const double> x, std::size_t m);
+
+/// Burst/lull structure of a count series in the sense of Appendix C:
+/// a bin is "occupied" if its count exceeds zero; a burst is a maximal
+/// run of occupied bins and a lull a maximal run of empty bins.
+struct BurstLull {
+  std::vector<std::size_t> burst_lengths;  ///< in bins
+  std::vector<std::size_t> lull_lengths;   ///< in bins
+  double mean_burst_bins() const;
+  double mean_lull_bins() const;
+};
+
+BurstLull burst_lull_structure(std::span<const double> counts);
+
+}  // namespace wan::stats

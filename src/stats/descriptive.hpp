@@ -1,0 +1,56 @@
+// Descriptive statistics used throughout the analyses: moments,
+// geometric mean (Fig. 3's "fit #1" anchors an exponential to it),
+// quantiles of samples.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace wan::stats {
+
+/// Arithmetic mean; 0 for empty input.
+double mean(std::span<const double> x);
+
+/// Unbiased sample variance (n-1 denominator); 0 if n < 2.
+double variance(std::span<const double> x);
+
+/// Population variance (n denominator); 0 for empty input. The paper's
+/// variance-time plots use the plain second moment of the smoothed
+/// series, which this matches asymptotically.
+double variance_population(std::span<const double> x);
+
+double stddev(std::span<const double> x);
+
+/// Geometric mean; requires all x > 0.
+double geometric_mean(std::span<const double> x);
+
+double min_value(std::span<const double> x);
+double max_value(std::span<const double> x);
+
+/// p-quantile (0 <= p <= 1) by linear interpolation of order statistics
+/// (type-7, the R default). Copies and sorts internally.
+double quantile(std::span<const double> x, double p);
+
+/// Median = quantile(x, 0.5).
+double median(std::span<const double> x);
+
+/// Lightweight summary for report tables.
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double variance = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> x);
+
+/// Differences t[i+1] - t[i]; the interarrival view of an arrival-time
+/// sequence. times must be nondecreasing.
+std::vector<double> interarrivals(std::span<const double> times);
+
+}  // namespace wan::stats

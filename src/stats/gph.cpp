@@ -1,0 +1,41 @@
+#include "src/stats/gph.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "src/fft/periodogram.hpp"
+
+namespace wan::stats {
+
+GphResult gph_estimator(std::span<const double> x, std::size_t m) {
+  const auto pg = fft::periodogram(x);
+  if (m == 0) {
+    m = static_cast<std::size_t>(
+        std::floor(std::sqrt(static_cast<double>(x.size()))));
+  }
+  if (m < 4 || m > pg.frequency.size())
+    throw std::invalid_argument("gph_estimator: bad frequency count");
+
+  std::vector<double> lx, ly;
+  lx.reserve(m);
+  ly.reserve(m);
+  for (std::size_t j = 0; j < m; ++j) {
+    if (pg.ordinate[j] <= 0.0) continue;  // degenerate ordinate
+    const double s = 2.0 * std::sin(0.5 * pg.frequency[j]);
+    lx.push_back(std::log(s * s));
+    ly.push_back(std::log(pg.ordinate[j]));
+  }
+  if (lx.size() < 4)
+    throw std::invalid_argument("gph_estimator: too few usable ordinates");
+
+  GphResult out;
+  out.fit = linear_fit(lx, ly);
+  out.d = -out.fit.slope;
+  out.hurst = out.d + 0.5;
+  out.stderr_d = out.fit.slope_stderr;
+  out.frequencies = lx.size();
+  return out;
+}
+
+}  // namespace wan::stats

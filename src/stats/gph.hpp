@@ -1,0 +1,26 @@
+// Geweke & Porter-Hudak (1983) log-periodogram regression — the third
+// classical Hurst estimator, complementing variance-time (time domain)
+// and Whittle (parametric frequency domain). Regresses log I(lambda_j)
+// on log(4 sin^2(lambda_j / 2)) over the lowest m ~ n^0.5 frequencies:
+// slope = -d, H = d + 1/2.
+#pragma once
+
+#include <span>
+
+#include "src/stats/regression.hpp"
+
+namespace wan::stats {
+
+struct GphResult {
+  double d = 0.0;            ///< memory parameter
+  double hurst = 0.5;        ///< d + 1/2
+  double stderr_d = 0.0;     ///< regression standard error of d
+  std::size_t frequencies = 0;
+  LinearFit fit;
+};
+
+/// Estimates d from the lowest `m` Fourier frequencies; m == 0 selects
+/// the conventional floor(n^0.5).
+GphResult gph_estimator(std::span<const double> x, std::size_t m = 0);
+
+}  // namespace wan::stats

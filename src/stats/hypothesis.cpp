@@ -1,0 +1,75 @@
+#include "src/stats/hypothesis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/dist/special.hpp"
+#include "src/stats/autocorr.hpp"
+
+namespace wan::stats {
+
+LjungBoxResult ljung_box_test(std::span<const double> x, std::size_t lags,
+                              double alpha) {
+  if (lags == 0 || x.size() <= lags + 1)
+    throw std::invalid_argument("ljung_box_test: need n > lags + 1 >= 2");
+  const auto r = autocorrelation(x, lags);
+  const double n = static_cast<double>(x.size());
+  double q = 0.0;
+  for (std::size_t k = 1; k <= lags; ++k) {
+    q += r[k] * r[k] / (n - static_cast<double>(k));
+  }
+  q *= n * (n + 2.0);
+
+  LjungBoxResult out;
+  out.statistic = q;
+  out.lags = lags;
+  out.p_value = dist::chi_square_sf(q, static_cast<double>(lags));
+  out.pass = out.p_value >= alpha;
+  return out;
+}
+
+double kolmogorov_sf(double t) {
+  if (t <= 0.0) return 1.0;
+  double sum = 0.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term = std::exp(-2.0 * j * j * t * t);
+    sum += (j % 2 == 1 ? term : -term);
+    if (term < 1e-16) break;
+  }
+  return std::min(1.0, std::max(0.0, 2.0 * sum));
+}
+
+KsResult ks_test_from_statistic(double d, std::size_t n, double alpha) {
+  KsResult out;
+  out.statistic = d;
+  const double sn = std::sqrt(static_cast<double>(n));
+  // Stephens' finite-sample effective statistic.
+  const double t = d * (sn + 0.12 + 0.11 / sn);
+  out.p_value = kolmogorov_sf(t);
+  out.pass = out.p_value >= alpha;
+  return out;
+}
+
+ChiSquareResult chi_square_from_counts(std::span<const double> observed,
+                                       double expected_per_bin,
+                                       std::size_t params_estimated,
+                                       double alpha) {
+  if (observed.size() < 2 || !(expected_per_bin > 0.0))
+    throw std::invalid_argument("chi_square_from_counts: bad inputs");
+  if (observed.size() <= params_estimated + 1)
+    throw std::invalid_argument("chi_square_from_counts: no dof left");
+  double stat = 0.0;
+  for (double o : observed) {
+    const double diff = o - expected_per_bin;
+    stat += diff * diff / expected_per_bin;
+  }
+  ChiSquareResult out;
+  out.statistic = stat;
+  out.dof = observed.size() - 1 - params_estimated;
+  out.p_value = dist::chi_square_sf(stat, static_cast<double>(out.dof));
+  out.pass = out.p_value >= alpha;
+  return out;
+}
+
+}  // namespace wan::stats

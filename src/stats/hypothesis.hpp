@@ -1,0 +1,103 @@
+// Additional hypothesis tests complementing Appendix A's A^2 machinery:
+//
+//  * Ljung-Box — a portmanteau independence test over the first L lags,
+//    generalizing the paper's lag-1-only autocorrelation checks;
+//  * one-sample Kolmogorov-Smirnov — the better-known (and, per Stephens,
+//    less powerful) alternative to A^2 the paper name-checks;
+//  * chi-square goodness of fit — the binned test A^2 was chosen over.
+// Having all three lets the benches reproduce Appendix A's *choice*:
+// A^2 catches heavy-tailed deviations these tests miss at equal n.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace wan::stats {
+
+struct LjungBoxResult {
+  double statistic = 0.0;  ///< Q = n(n+2) sum_k r_k^2 / (n-k)
+  double p_value = 1.0;    ///< chi-square tail with `lags` dof
+  std::size_t lags = 0;
+  bool pass = false;       ///< independence not rejected at alpha
+};
+
+/// Ljung-Box test of no autocorrelation through `lags` lags, at level
+/// alpha. Requires x.size() > lags + 1.
+LjungBoxResult ljung_box_test(std::span<const double> x, std::size_t lags,
+                              double alpha = 0.05);
+
+struct KsResult {
+  double statistic = 0.0;  ///< D_n
+  double p_value = 1.0;    ///< asymptotic Kolmogorov distribution
+  bool pass = false;
+};
+
+/// One-sample KS test against a fully specified CDF (callable).
+/// Uses the asymptotic Kolmogorov tail with the Stephens small-sample
+/// correction factor (sqrt(n) + 0.12 + 0.11/sqrt(n)).
+template <typename Cdf>
+KsResult ks_test(std::span<const double> x, Cdf&& cdf, double alpha = 0.05);
+
+/// Kolmogorov distribution tail Q(t) = 2 sum_{j>=1} (-1)^{j-1} e^{-2 j^2 t^2}.
+double kolmogorov_sf(double t);
+
+struct ChiSquareResult {
+  double statistic = 0.0;
+  double p_value = 1.0;
+  std::size_t dof = 0;
+  bool pass = false;
+};
+
+/// Chi-square goodness-of-fit of a sample against a fully specified CDF,
+/// using `bins` equiprobable cells; dof = bins - 1 - params_estimated.
+template <typename Quantile>
+ChiSquareResult chi_square_gof(std::span<const double> x,
+                               Quantile&& quantile, std::size_t bins,
+                               std::size_t params_estimated = 0,
+                               double alpha = 0.05);
+
+// ---- implementation details ----
+
+KsResult ks_test_from_statistic(double d, std::size_t n, double alpha);
+ChiSquareResult chi_square_from_counts(std::span<const double> observed,
+                                       double expected_per_bin,
+                                       std::size_t params_estimated,
+                                       double alpha);
+
+template <typename Cdf>
+KsResult ks_test(std::span<const double> x, Cdf&& cdf, double alpha) {
+  std::vector<double> p(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) p[i] = cdf(x[i]);
+  std::sort(p.begin(), p.end());
+  double d = 0.0;
+  const double n = static_cast<double>(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    d = std::max({d, p[i] - static_cast<double>(i) / n,
+                  static_cast<double>(i + 1) / n - p[i]});
+  }
+  return ks_test_from_statistic(d, x.size(), alpha);
+}
+
+template <typename Quantile>
+ChiSquareResult chi_square_gof(std::span<const double> x,
+                               Quantile&& quantile, std::size_t bins,
+                               std::size_t params_estimated, double alpha) {
+  std::vector<double> edges(bins - 1);
+  for (std::size_t b = 1; b < bins; ++b) {
+    edges[b - 1] =
+        quantile(static_cast<double>(b) / static_cast<double>(bins));
+  }
+  std::vector<double> counts(bins, 0.0);
+  for (double v : x) {
+    const auto it = std::upper_bound(edges.begin(), edges.end(), v);
+    counts[static_cast<std::size_t>(it - edges.begin())] += 1.0;
+  }
+  const double expected =
+      static_cast<double>(x.size()) / static_cast<double>(bins);
+  return chi_square_from_counts(counts, expected, params_estimated, alpha);
+}
+
+}  // namespace wan::stats

@@ -1,0 +1,46 @@
+#include "src/stats/regression.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace wan::stats {
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2)
+    throw std::invalid_argument("linear_fit: need matching sizes >= 2");
+  const double n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) throw std::invalid_argument("linear_fit: x is constant");
+
+  LinearFit f;
+  f.n = x.size();
+  f.slope = sxy / sxx;
+  f.intercept = my - f.slope * mx;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - (f.intercept + f.slope * x[i]);
+    ss_res += e * e;
+  }
+  f.r2 = syy > 0.0 ? 1.0 - ss_res / syy : 1.0;
+  if (x.size() > 2) {
+    const double mse = ss_res / (n - 2.0);
+    f.slope_stderr = std::sqrt(mse / sxx);
+  }
+  return f;
+}
+
+}  // namespace wan::stats

@@ -1,0 +1,21 @@
+// Ordinary least squares for the log-log slope fits behind variance-time
+// plots, R/S analysis and CCDF tail fitting.
+#pragma once
+
+#include <span>
+
+namespace wan::stats {
+
+/// y = intercept + slope * x fit by ordinary least squares.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;           ///< coefficient of determination
+  double slope_stderr = 0.0; ///< standard error of the slope estimate
+  std::size_t n = 0;
+};
+
+/// Fits y against x. Requires x.size() == y.size() >= 2 and non-constant x.
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+}  // namespace wan::stats

@@ -1,0 +1,73 @@
+#include "src/stats/rs_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/stats/descriptive.hpp"
+
+namespace wan::stats {
+
+namespace {
+
+// Rescaled range of one window; returns 0 if the window is constant.
+double window_rs(std::span<const double> w) {
+  const double m = mean(w);
+  double cum = 0.0, lo = 0.0, hi = 0.0, ss = 0.0;
+  for (double v : w) {
+    cum += v - m;
+    lo = std::min(lo, cum);
+    hi = std::max(hi, cum);
+    ss += (v - m) * (v - m);
+  }
+  const double s = std::sqrt(ss / static_cast<double>(w.size()));
+  if (s <= 0.0) return 0.0;
+  return (hi - lo) / s;
+}
+
+}  // namespace
+
+RsAnalysis rs_analysis(std::span<const double> x) {
+  if (x.size() < 32)
+    throw std::invalid_argument("rs_analysis: series too short");
+
+  RsAnalysis out;
+  // Log-spaced windows from 8 to n/4, about 6 per decade.
+  std::size_t last = 0;
+  for (double lg = std::log10(8.0);; lg += 1.0 / 6.0) {
+    const auto w = static_cast<std::size_t>(std::llround(std::pow(10.0, lg)));
+    if (w > x.size() / 4) break;
+    if (w == last) continue;
+    last = w;
+
+    double sum_rs = 0.0;
+    std::size_t n_windows = 0;
+    for (std::size_t start = 0; start + w <= x.size(); start += w) {
+      const double rs = window_rs(x.subspan(start, w));
+      if (rs > 0.0) {
+        sum_rs += rs;
+        ++n_windows;
+      }
+    }
+    if (n_windows > 0) {
+      out.points.push_back(
+          {w, sum_rs / static_cast<double>(n_windows)});
+    }
+  }
+  if (out.points.size() < 3)
+    throw std::invalid_argument("rs_analysis: not enough window sizes");
+  return out;
+}
+
+LinearFit RsAnalysis::fit() const {
+  std::vector<double> xs, ys;
+  for (const RsPoint& p : points) {
+    xs.push_back(std::log10(static_cast<double>(p.window)));
+    ys.push_back(std::log10(p.mean_rs));
+  }
+  return linear_fit(xs, ys);
+}
+
+double RsAnalysis::hurst() const { return fit().slope; }
+
+}  // namespace wan::stats

@@ -1,0 +1,31 @@
+// Rescaled-range (R/S) analysis — the classical Hurst estimator, offered
+// alongside variance-time and Whittle as an independent cross-check of
+// the long-range dependence conclusions in Section VII.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/stats/regression.hpp"
+
+namespace wan::stats {
+
+struct RsPoint {
+  std::size_t window = 0;
+  double mean_rs = 0.0;  ///< E[R/S] over window positions
+};
+
+struct RsAnalysis {
+  std::vector<RsPoint> points;
+  /// OLS slope of log10 E[R/S] against log10 window = Hurst estimate.
+  double hurst() const;
+  LinearFit fit() const;
+};
+
+/// Computes R/S over log-spaced window sizes (>= 8). For each window size
+/// w the series is cut into non-overlapping windows; within each the
+/// rescaled range of the mean-adjusted cumulative sum is computed and the
+/// results averaged.
+RsAnalysis rs_analysis(std::span<const double> x);
+
+}  // namespace wan::stats

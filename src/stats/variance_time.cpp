@@ -1,0 +1,79 @@
+#include "src/stats/variance_time.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/stats/counting.hpp"
+#include "src/stats/descriptive.hpp"
+
+namespace wan::stats {
+
+std::vector<std::size_t> default_aggregation_levels(std::size_t n,
+                                                    std::size_t per_decade,
+                                                    std::size_t min_blocks) {
+  std::vector<std::size_t> levels;
+  if (n < 2 * min_blocks) return levels;
+  const double m_max = static_cast<double>(n) / static_cast<double>(min_blocks);
+  const double step = 1.0 / static_cast<double>(per_decade);
+  double lg = 0.0;
+  std::size_t last = 0;
+  while (true) {
+    const auto m = static_cast<std::size_t>(std::llround(std::pow(10.0, lg)));
+    if (static_cast<double>(m) > m_max) break;
+    if (m != last) {
+      levels.push_back(m);
+      last = m;
+    }
+    lg += step;
+  }
+  return levels;
+}
+
+VarianceTimePlot variance_time_plot(std::span<const double> counts,
+                                    std::span<const std::size_t> levels) {
+  if (counts.size() < 16)
+    throw std::invalid_argument("variance_time_plot: series too short");
+
+  std::vector<std::size_t> default_levels;
+  if (levels.empty()) {
+    default_levels = default_aggregation_levels(counts.size());
+    levels = default_levels;
+  }
+
+  VarianceTimePlot plot;
+  plot.base_mean = mean(counts);
+  const double norm =
+      plot.base_mean != 0.0 ? plot.base_mean * plot.base_mean : 1.0;
+
+  for (std::size_t m : levels) {
+    if (m == 0 || counts.size() / m < 2) continue;
+    const auto agg = aggregate_mean(counts, m);
+    VtPoint p;
+    p.m = m;
+    p.n_blocks = agg.size();
+    p.variance = variance_population(agg);
+    p.normalized = p.variance / norm;
+    plot.points.push_back(p);
+  }
+  return plot;
+}
+
+LinearFit VarianceTimePlot::fit_slope(std::size_t m_lo, std::size_t m_hi,
+                                      std::size_t min_blocks) const {
+  std::vector<double> xs, ys;
+  for (const VtPoint& p : points) {
+    if (p.m < m_lo || p.m > m_hi || p.n_blocks < min_blocks) continue;
+    if (p.normalized <= 0.0) continue;
+    xs.push_back(std::log10(static_cast<double>(p.m)));
+    ys.push_back(std::log10(p.normalized));
+  }
+  if (xs.size() < 2)
+    throw std::invalid_argument("VarianceTimePlot: not enough points to fit");
+  return linear_fit(xs, ys);
+}
+
+double VarianceTimePlot::hurst(std::size_t m_lo, std::size_t m_hi) const {
+  return 1.0 + fit_slope(m_lo, m_hi).slope / 2.0;
+}
+
+}  // namespace wan::stats

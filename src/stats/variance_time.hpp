@@ -1,0 +1,53 @@
+// Variance-time analysis (Section IV): smooth a count process by
+// averaging over non-overlapping blocks of M observations and watch how
+// the variance of the smoothed process decays with M.
+//
+// Poisson-like (short-range dependent) processes decay as 1/M: slope -1
+// on a log-log plot. Long-range dependent processes decay as
+// M^(2H - 2) with H > 1/2: slope shallower than -1. The paper normalizes
+// variances by the squared mean of the base series so traces with
+// different packet counts are comparable.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/stats/regression.hpp"
+
+namespace wan::stats {
+
+/// One point of a variance-time plot.
+struct VtPoint {
+  std::size_t m = 1;          ///< aggregation level
+  double variance = 0.0;      ///< Var of the block-mean process
+  double normalized = 0.0;    ///< variance / mean(base)^2
+  std::size_t n_blocks = 0;   ///< sample size at this level
+};
+
+struct VarianceTimePlot {
+  std::vector<VtPoint> points;
+  double base_mean = 0.0;     ///< mean of the unaggregated series
+
+  /// OLS fit of log10(normalized variance) vs log10(M) over points with
+  /// m in [m_lo, m_hi] and at least `min_blocks` blocks.
+  LinearFit fit_slope(std::size_t m_lo = 1,
+                      std::size_t m_hi = SIZE_MAX,
+                      std::size_t min_blocks = 8) const;
+
+  /// Hurst estimate from the fitted slope: H = 1 + slope/2.
+  double hurst(std::size_t m_lo = 1, std::size_t m_hi = SIZE_MAX) const;
+};
+
+/// Default aggregation levels: ~`per_decade` log-spaced values of M from 1
+/// up to n/min_blocks.
+std::vector<std::size_t> default_aggregation_levels(std::size_t n,
+                                                    std::size_t per_decade = 5,
+                                                    std::size_t min_blocks = 8);
+
+/// Computes the variance-time plot of a count series at the given levels
+/// (or default levels if empty).
+VarianceTimePlot variance_time_plot(std::span<const double> counts,
+                                    std::span<const std::size_t> levels = {});
+
+}  // namespace wan::stats

@@ -1,0 +1,182 @@
+#include "src/stats/whittle.hpp"
+
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "src/fft/periodogram.hpp"
+
+namespace wan::stats {
+
+double fgn_spectral_density(double lambda, double hurst) {
+  if (!(lambda > 0.0 && lambda <= M_PI))
+    throw std::invalid_argument("fgn_spectral_density: lambda must be in (0, pi]");
+  if (!(hurst > 0.0 && hurst < 1.0))
+    throw std::invalid_argument("fgn_spectral_density: H must be in (0, 1)");
+
+  const double two_h = 2.0 * hurst;
+  const double exponent = -(two_h + 1.0);
+
+  // Central term plus j = 1..J pairs.
+  constexpr int kJ = 50;
+  double s = std::pow(lambda, exponent);
+  for (int j = 1; j <= kJ; ++j) {
+    const double a = 2.0 * M_PI * j + lambda;
+    const double b = 2.0 * M_PI * j - lambda;
+    s += std::pow(a, exponent) + std::pow(b, exponent);
+  }
+  // Integral tail correction: sum_{j > J} g(2 pi j +- lambda) ~
+  // Integral_{J+1/2}^{inf} [g(2 pi t + lambda) + g(2 pi t - lambda)] dt.
+  const double edge = 2.0 * M_PI * (kJ + 0.5);
+  s += (std::pow(edge + lambda, -two_h) + std::pow(edge - lambda, -two_h)) /
+       (2.0 * M_PI * two_h);
+
+  const double cf =
+      std::sin(M_PI * hurst) * std::tgamma(two_h + 1.0) / (2.0 * M_PI);
+  // 1 - cos(lambda) written as 2 sin^2(lambda/2): the naive form loses
+  // all precision for lambda below ~1e-8, and with H near 1 most of the
+  // spectral mass lives exactly there.
+  const double half = std::sin(0.5 * lambda);
+  return 2.0 * cf * (2.0 * half * half) * s;
+}
+
+double farima_spectral_density(double lambda, double d) {
+  if (!(lambda > 0.0 && lambda <= M_PI))
+    throw std::invalid_argument("farima_spectral_density: lambda in (0, pi]");
+  if (!(d > -0.5 && d < 0.5))
+    throw std::invalid_argument("farima_spectral_density: d in (-1/2, 1/2)");
+  const double s = 2.0 * std::sin(0.5 * lambda);
+  return std::pow(s, -2.0 * d) / (2.0 * M_PI);
+}
+
+namespace {
+
+using DensityFn = double (*)(double lambda, double theta);
+
+// Profiled Whittle objective Q(theta) and the profiled scale.
+struct Objective {
+  double q;
+  double scale;
+};
+
+Objective whittle_objective(const fft::Periodogram& pg, DensityFn density,
+                            double theta) {
+  const std::size_t m = pg.frequency.size();
+  double sum_ratio = 0.0;
+  double sum_logf = 0.0;
+  for (std::size_t j = 0; j < m; ++j) {
+    const double f = density(pg.frequency[j], theta);
+    sum_ratio += pg.ordinate[j] / f;
+    sum_logf += std::log(f);
+  }
+  const double dm = static_cast<double>(m);
+  Objective o;
+  o.scale = sum_ratio / dm;
+  o.q = std::log(o.scale) + sum_logf / dm;
+  return o;
+}
+
+// Golden-section minimization of a unimodal function on [lo, hi].
+double golden_minimize(const std::function<double(double)>& f, double lo,
+                       double hi, double tol) {
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = lo, b = hi;
+  double c = b - phi * (b - a);
+  double d = a + phi * (b - a);
+  double fc = f(c), fd = f(d);
+  while (b - a > tol) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - phi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + phi * (b - a);
+      fd = f(d);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+// Shared estimation driver over a single shape parameter theta in
+// [theta_min, theta_max]; `to_hurst` converts the fitted theta into the
+// reported Hurst units.
+WhittleResult whittle_estimate(const fft::Periodogram& pg, DensityFn density,
+                               double theta_min, double theta_max,
+                               double (*to_hurst)(double)) {
+  if (pg.frequency.size() < 8)
+    throw std::invalid_argument("whittle: too few periodogram ordinates");
+
+  // Coarse grid to localize the minimum (the objective is smooth and in
+  // practice unimodal), then golden-section refinement.
+  double best_t = 0.5 * (theta_min + theta_max), best_q = HUGE_VAL;
+  const double grid = (theta_max - theta_min) / 20.0;
+  for (double t = theta_min; t <= theta_max; t += grid) {
+    const double q = whittle_objective(pg, density, t).q;
+    if (q < best_q) {
+      best_q = q;
+      best_t = t;
+    }
+  }
+  const double lo = std::max(theta_min, best_t - 1.2 * grid);
+  const double hi = std::min(theta_max, best_t + 1.2 * grid);
+  const double t_hat = golden_minimize(
+      [&pg, density](double t) {
+        return whittle_objective(pg, density, t).q;
+      },
+      lo, hi, 1e-5);
+
+  const Objective at_min = whittle_objective(pg, density, t_hat);
+
+  WhittleResult r;
+  r.hurst = to_hurst(t_hat);
+  r.scale = at_min.scale;
+  r.objective = at_min.q;
+
+  // Observed-information standard error: the Whittle deviance is
+  // W(theta) = m * Q(theta) (up to constants), so Var ~ 2 / W''. The
+  // theta -> hurst maps used here have unit slope, so no Jacobian.
+  const double dt = 1e-3;
+  const double t_lo = std::max(theta_min, t_hat - dt);
+  const double t_hi = std::min(theta_max, t_hat + dt);
+  const double q_lo = whittle_objective(pg, density, t_lo).q;
+  const double q_hi = whittle_objective(pg, density, t_hi).q;
+  const double step = 0.5 * (t_hi - t_lo);
+  const double second = (q_lo - 2.0 * at_min.q + q_hi) / (step * step);
+  const double m = static_cast<double>(pg.frequency.size());
+  r.stderr_hurst = second > 0.0 ? std::sqrt(2.0 / (m * second)) : 0.0;
+  r.ci_low = r.hurst - 1.96 * r.stderr_hurst;
+  r.ci_high = r.hurst + 1.96 * r.stderr_hurst;
+  return r;
+}
+
+double identity_map(double t) { return t; }
+double d_to_hurst(double d) { return d + 0.5; }
+
+}  // namespace
+
+WhittleResult whittle_fgn_from_periodogram(const fft::Periodogram& pg) {
+  return whittle_estimate(pg, &fgn_spectral_density, 0.02, 0.99,
+                          &identity_map);
+}
+
+WhittleResult whittle_fgn(std::span<const double> x) {
+  const auto pg = fft::periodogram(x);
+  return whittle_fgn_from_periodogram(pg);
+}
+
+WhittleResult whittle_farima_from_periodogram(const fft::Periodogram& pg) {
+  return whittle_estimate(pg, &farima_spectral_density, -0.45, 0.49,
+                          &d_to_hurst);
+}
+
+WhittleResult whittle_farima(std::span<const double> x) {
+  const auto pg = fft::periodogram(x);
+  return whittle_farima_from_periodogram(pg);
+}
+
+}  // namespace wan::stats

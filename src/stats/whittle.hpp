@@ -1,0 +1,58 @@
+// Whittle's approximate maximum-likelihood estimator of the Hurst
+// parameter of fractional Gaussian noise — the estimator the paper uses
+// (via Beran's S code) to gauge self-similarity in Section VII.
+//
+// The estimator minimizes the discrete Whittle objective
+//   Q(H) = (1/m) sum_j [ log f*(lambda_j; H) + I(lambda_j) / f*(lambda_j; H) ]
+// over H in (1/2, 1), where I is the periodogram and f* the unit-scale
+// fGn spectral density; the innovation scale is profiled out.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace wan::fft {
+struct Periodogram;
+}
+
+namespace wan::stats {
+
+/// Spectral density of fractional Gaussian noise at frequency
+/// lambda in (0, pi], for unit sigma^2:
+///   f(lambda; H) = 2 c_f (1 - cos lambda) sum_j |lambda + 2 pi j|^(-2H-1),
+/// with c_f = sin(pi H) Gamma(2H + 1) / (2 pi). The infinite sum is
+/// evaluated with a truncated series plus an integral tail correction
+/// (accurate to ~1e-8 over H in [0.5, 0.99]).
+double fgn_spectral_density(double lambda, double hurst);
+
+struct WhittleResult {
+  double hurst = 0.5;
+  double stderr_hurst = 0.0;   ///< from the observed curvature of Q
+  double ci_low = 0.0;         ///< 95% confidence interval
+  double ci_high = 0.0;
+  double scale = 0.0;          ///< profiled innovation scale sigma^2
+  double objective = 0.0;      ///< Q at the minimum
+};
+
+/// Estimates H of an fGn model for the (stationary) series x by Whittle's
+/// method. The series is centered internally. For very long series,
+/// aggregate first (the estimator is asymptotically unaffected for exact
+/// fGn, and aggregation keeps the periodogram affordable).
+WhittleResult whittle_fgn(std::span<const double> x);
+
+/// Same, but starting from a precomputed periodogram.
+WhittleResult whittle_fgn_from_periodogram(const fft::Periodogram& pg);
+
+/// Unit-scale spectral density of fractional ARIMA(0, d, 0):
+///   f(lambda; d) = |2 sin(lambda/2)|^{-2d} / (2 pi).
+/// The alternative long-memory family Section VII-D mentions when traces
+/// fail the fGn fit.
+double farima_spectral_density(double lambda, double d);
+
+/// Whittle estimation under the fARIMA(0,d,0) model. The returned
+/// `hurst` is d + 1/2 (the LRD correspondence); `stderr_hurst`/CI are in
+/// the same units.
+WhittleResult whittle_farima(std::span<const double> x);
+WhittleResult whittle_farima_from_periodogram(const fft::Periodogram& pg);
+
+}  // namespace wan::stats

@@ -1,0 +1,81 @@
+#include "src/synth/arrivals.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wan::synth {
+
+std::vector<double> poisson_arrivals(rng::Rng& rng, double rate, double t0,
+                                     double t1) {
+  if (!(t1 >= t0)) throw std::invalid_argument("poisson_arrivals: t1 < t0");
+  std::vector<double> times;
+  if (!(rate > 0.0)) return times;
+  double t = t0;
+  while (true) {
+    t += -std::log(rng.uniform01_open_below()) / rate;
+    if (t >= t1) break;
+    times.push_back(t);
+  }
+  return times;
+}
+
+std::vector<double> poisson_arrivals_hourly(rng::Rng& rng,
+                                            const DiurnalProfile& profile,
+                                            double per_day, double t0,
+                                            double t1) {
+  if (!(t1 >= t0))
+    throw std::invalid_argument("poisson_arrivals_hourly: t1 < t0");
+  std::vector<double> times;
+  // Walk hour-aligned segments; within each the rate is constant.
+  double seg_start = t0;
+  while (seg_start < t1) {
+    const double next_hour =
+        (std::floor(seg_start / 3600.0) + 1.0) * 3600.0;
+    const double seg_end = std::min(next_hour, t1);
+    const double rate = profile.rate_at(seg_start, per_day);
+    auto seg = poisson_arrivals(rng, rate, seg_start, seg_end);
+    times.insert(times.end(), seg.begin(), seg.end());
+    seg_start = seg_end;
+  }
+  return times;
+}
+
+std::vector<double> renewal_arrivals(rng::Rng& rng,
+                                     const dist::Distribution& gap_dist,
+                                     double t0, double t1,
+                                     std::size_t max_events) {
+  if (!(t1 >= t0)) throw std::invalid_argument("renewal_arrivals: t1 < t0");
+  std::vector<double> times;
+  double t = t0;
+  while (times.size() < max_events) {
+    t += gap_dist.sample(rng);
+    if (t >= t1) break;
+    times.push_back(t);
+  }
+  return times;
+}
+
+std::vector<double> renewal_arrivals_count(rng::Rng& rng,
+                                           const dist::Distribution& gap_dist,
+                                           double t0, std::size_t n) {
+  std::vector<double> times;
+  times.reserve(n);
+  double t = t0;
+  for (std::size_t i = 0; i < n; ++i) {
+    times.push_back(t);
+    t += gap_dist.sample(rng);
+  }
+  return times;
+}
+
+std::vector<double> uniform_arrivals(rng::Rng& rng, double t0, double t1,
+                                     std::size_t n) {
+  if (!(t1 > t0)) throw std::invalid_argument("uniform_arrivals: t1 <= t0");
+  std::vector<double> times(n);
+  for (double& t : times) t = rng.uniform(t0, t1);
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+}  // namespace wan::synth

@@ -1,0 +1,48 @@
+// Arrival-process generators: homogeneous Poisson, the paper's
+// "fixed hourly rates" piecewise-homogeneous Poisson, and general renewal
+// processes driven by any interarrival distribution.
+#pragma once
+
+#include <vector>
+
+#include "src/dist/distribution.hpp"
+#include "src/rng/rng.hpp"
+#include "src/synth/diurnal.hpp"
+
+namespace wan::synth {
+
+/// Homogeneous Poisson arrivals with the given rate (events/second) over
+/// [t0, t1).
+std::vector<double> poisson_arrivals(rng::Rng& rng, double rate, double t0,
+                                     double t1);
+
+/// Piecewise-homogeneous Poisson arrivals: rate fixed within each hour,
+/// shaped by the diurnal profile, averaging `per_day` arrivals per day.
+/// This is exactly the model Section III finds valid for user session
+/// arrivals.
+std::vector<double> poisson_arrivals_hourly(rng::Rng& rng,
+                                            const DiurnalProfile& profile,
+                                            double per_day, double t0,
+                                            double t1);
+
+/// Renewal arrivals: event times t0 + X1, t0 + X1 + X2, ... with i.i.d.
+/// gaps from `gap_dist`, truncated at t1 (and optionally at max_events).
+std::vector<double> renewal_arrivals(rng::Rng& rng,
+                                     const dist::Distribution& gap_dist,
+                                     double t0, double t1,
+                                     std::size_t max_events = SIZE_MAX);
+
+/// Exactly n renewal events starting at t0 (no time bound) — used when a
+/// connection's packet count is fixed and its duration is emergent (the
+/// paper's TCPLIB and EXP schemes).
+std::vector<double> renewal_arrivals_count(rng::Rng& rng,
+                                           const dist::Distribution& gap_dist,
+                                           double t0, std::size_t n);
+
+/// n arrivals uniformly scattered over [t0, t1), sorted — the paper's
+/// VAR-EXP scheme is equivalent to conditioning a Poisson process on its
+/// count, i.e. uniform order statistics.
+std::vector<double> uniform_arrivals(rng::Rng& rng, double t0, double t1,
+                                     std::size_t n);
+
+}  // namespace wan::synth

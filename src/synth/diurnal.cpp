@@ -1,0 +1,118 @@
+#include "src/synth/diurnal.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace wan::synth {
+
+DiurnalProfile::DiurnalProfile() {
+  w_.fill(1.0 / 24.0);
+}
+
+DiurnalProfile::DiurnalProfile(const std::array<double, 24>& weights) {
+  double total = 0.0;
+  for (double v : weights) {
+    if (v < 0.0)
+      throw std::invalid_argument("DiurnalProfile: negative weight");
+    total += v;
+  }
+  if (!(total > 0.0))
+    throw std::invalid_argument("DiurnalProfile: all-zero weights");
+  for (std::size_t h = 0; h < 24; ++h) w_[h] = weights[h] / total;
+}
+
+double DiurnalProfile::weight(std::size_t hour) const {
+  return w_[hour % 24];
+}
+
+double DiurnalProfile::rate_at(double t_seconds, double per_day) const {
+  const double hour_of_day = std::fmod(t_seconds / 3600.0, 24.0);
+  const auto h = static_cast<std::size_t>(hour_of_day) % 24;
+  // weight = fraction of daily arrivals in this hour; the hour spans
+  // 3600 s, so rate = per_day * weight / 3600.
+  return per_day * w_[h] / 3600.0;
+}
+
+// The preset shapes below were read off Fig. 1 of the paper: relative
+// hourly fractions of a day's connections (scale is arbitrary; the
+// constructor normalizes).
+
+DiurnalProfile DiurnalProfile::telnet() {
+  // Office hours with a noon dip, near-dead overnight.
+  return DiurnalProfile(std::array<double, 24>{
+      0.8, 0.5, 0.4, 0.3, 0.3, 0.4,   // 0-5
+      0.8, 1.5, 3.0, 5.5, 6.5, 6.0,   // 6-11 (morning ramp)
+      4.5, 6.0, 6.8, 6.5, 6.0, 5.0,   // 12-17 (lunch dip at 12)
+      3.0, 2.2, 1.8, 1.5, 1.2, 1.0}); // evening decay
+}
+
+DiurnalProfile DiurnalProfile::ftp() {
+  // Like TELNET but with substantial evening renewal (users exploiting
+  // lower delays).
+  return DiurnalProfile(std::array<double, 24>{
+      1.5, 1.0, 0.8, 0.6, 0.6, 0.8,
+      1.2, 2.0, 3.5, 5.0, 5.8, 5.5,
+      4.5, 5.5, 6.0, 5.8, 5.2, 4.5,
+      3.8, 4.0, 4.2, 3.8, 3.0, 2.2});
+}
+
+DiurnalProfile DiurnalProfile::nntp() {
+  // Nearly constant; slight early-morning dip.
+  return DiurnalProfile(std::array<double, 24>{
+      4.0, 3.8, 3.5, 3.2, 3.2, 3.5,
+      3.8, 4.0, 4.3, 4.5, 4.5, 4.5,
+      4.4, 4.5, 4.6, 4.5, 4.5, 4.4,
+      4.3, 4.3, 4.2, 4.2, 4.1, 4.0});
+}
+
+DiurnalProfile DiurnalProfile::smtp_west() {
+  // Morning bias (cross-country mail lands early Pacific time).
+  return DiurnalProfile(std::array<double, 24>{
+      1.5, 1.2, 1.0, 0.9, 1.0, 1.5,
+      3.0, 5.0, 6.5, 7.0, 6.8, 6.0,
+      5.0, 5.5, 5.5, 5.2, 4.8, 4.0,
+      3.0, 2.5, 2.2, 2.0, 1.8, 1.6});
+}
+
+DiurnalProfile DiurnalProfile::smtp_east() {
+  // Afternoon bias (the Bellcore shape).
+  return DiurnalProfile(std::array<double, 24>{
+      1.5, 1.2, 1.0, 0.9, 1.0, 1.2,
+      2.0, 3.0, 4.0, 4.8, 5.2, 5.5,
+      5.2, 6.0, 6.8, 7.0, 6.5, 5.5,
+      4.2, 3.2, 2.6, 2.2, 2.0, 1.7});
+}
+
+DiurnalProfile DiurnalProfile::www() {
+  return DiurnalProfile(std::array<double, 24>{
+      1.0, 0.8, 0.6, 0.5, 0.5, 0.6,
+      1.0, 2.0, 3.5, 5.0, 6.0, 6.0,
+      5.0, 6.0, 6.5, 6.2, 5.5, 4.5,
+      3.5, 3.0, 2.5, 2.0, 1.5, 1.2});
+}
+
+DiurnalProfile DiurnalProfile::flat() { return DiurnalProfile(); }
+
+DiurnalProfile DiurnalProfile::for_protocol(trace::Protocol p) {
+  using trace::Protocol;
+  switch (p) {
+    case Protocol::kTelnet:
+    case Protocol::kRlogin:
+    case Protocol::kX11:
+      return telnet();
+    case Protocol::kFtpCtrl:
+    case Protocol::kFtpData:
+      return ftp();
+    case Protocol::kNntp:
+      return nntp();
+    case Protocol::kSmtp:
+      return smtp_west();
+    case Protocol::kWww:
+      return www();
+    default:
+      return flat();
+  }
+}
+
+}  // namespace wan::synth

@@ -1,0 +1,48 @@
+// Diurnal (24-hour) connection-rate profiles, reproducing the shapes of
+// the paper's Fig. 1: TELNET peaks in office hours with a lunch dip, FTP
+// adds an evening renewal, NNTP stays almost flat, SMTP leans morning at
+// a west-coast site and afternoon at an east-coast one.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "src/trace/protocol.hpp"
+
+namespace wan::synth {
+
+/// Relative arrival-rate weight for each hour of day. Weights are stored
+/// normalized so they sum to 1 — weight(h) is the expected fraction of a
+/// day's connections arriving during hour h, exactly what Fig. 1 plots.
+class DiurnalProfile {
+ public:
+  /// Uniform profile.
+  DiurnalProfile();
+
+  /// From 24 nonnegative weights (any scale; normalized internally).
+  explicit DiurnalProfile(const std::array<double, 24>& weights);
+
+  /// Fraction of the day's connections in hour h (0-23).
+  double weight(std::size_t hour) const;
+
+  /// Instantaneous arrival rate (per second) at absolute time t for a
+  /// process averaging `per_day` arrivals per day; piecewise constant
+  /// over hours, which is precisely the paper's "fixed hourly rates".
+  double rate_at(double t_seconds, double per_day) const;
+
+  /// Presets shaped after Fig. 1.
+  static DiurnalProfile telnet();
+  static DiurnalProfile ftp();
+  static DiurnalProfile nntp();
+  static DiurnalProfile smtp_west();  ///< LBL-like morning bias
+  static DiurnalProfile smtp_east();  ///< Bellcore-like afternoon bias
+  static DiurnalProfile www();
+  static DiurnalProfile flat();
+
+  static DiurnalProfile for_protocol(trace::Protocol p);
+
+ private:
+  std::array<double, 24> w_{};
+};
+
+}  // namespace wan::synth

@@ -1,0 +1,154 @@
+#include "src/synth/ftp_source.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/dist/zipf.hpp"
+
+namespace wan::synth {
+
+FtpSource::FtpSource(FtpConfig config)
+    : config_(config),
+      think_dist_(config.think_log_mean, config.think_log_sd),
+      intra_dist_(config.intra_log_mean, config.intra_log_sd),
+      burst_bytes_dist_(config.burst_bytes_location, config.burst_bytes_shape,
+                        config.burst_bytes_cap),
+      hot_bytes_dist_(
+          std::min(config.burst_bytes_location * config.hot_bytes_multiplier,
+                   config.burst_bytes_cap / 4.0),
+          config.burst_bytes_shape, config.burst_bytes_cap),
+      rate_dist_(config.rate_log_mean, config.rate_log_sd) {}
+
+std::size_t FtpSource::sample_bursts_per_session(rng::Rng& rng) const {
+  const dist::DiscretePareto dp;
+  return 1 + std::min<std::size_t>(dp.sample(rng),
+                                   config_.max_bursts_per_session - 1);
+}
+
+std::size_t FtpSource::sample_conns_per_burst(rng::Rng& rng) const {
+  const dist::DiscretePareto dp;
+  return 1 + std::min<std::size_t>(dp.sample(rng),
+                                   config_.max_conns_per_burst - 1);
+}
+
+double FtpSource::sample_burst_bytes(rng::Rng& rng) const {
+  return burst_bytes_dist_.sample(rng);
+}
+
+void FtpSource::generate_session(rng::Rng& rng, double session_start,
+                                 double t1, const HostModel& hosts,
+                                 std::uint64_t sid, bool hot,
+                                 trace::ConnTrace& out) const {
+  const std::uint32_t src = hosts.sample_local(rng);
+  const std::uint32_t dst = hosts.sample_remote(rng);
+
+  // Hot-event sessions are there for the one big fetch: few bursts.
+  const std::size_t n_bursts =
+      hot ? 1 + rng.uniform_int(2) : sample_bursts_per_session(rng);
+  // The control connection opens a beat before the first transfer.
+  double cursor = session_start + 1.0 + 2.0 * rng.uniform01();
+  double session_end = cursor;
+
+  for (std::size_t b = 0; b < n_bursts; ++b) {
+    if (b > 0) cursor += think_dist_.sample(rng);  // inter-burst think
+    if (cursor >= t1) break;
+
+    const std::size_t n_conns =
+        hot ? 1 + rng.uniform_int(3) : sample_conns_per_burst(rng);
+    const double burst_total =
+        hot ? hot_bytes_dist_.sample(rng) : sample_burst_bytes(rng);
+
+    // Split the burst's bytes across its connections proportionally to
+    // Pareto weights: a multi-file "mget" mixes small listings with the
+    // odd big file.
+    std::vector<double> weights(n_conns);
+    const dist::Pareto weight_law(1.0, 1.2);
+    double wsum = 0.0;
+    for (double& w : weights) {
+      w = weight_law.sample(rng);
+      wsum += w;
+    }
+
+    for (std::size_t k = 0; k < n_conns; ++k) {
+      const double bytes = std::max(64.0, burst_total * weights[k] / wsum);
+      const double rate = rate_dist_.sample(rng);
+      const double duration = std::max(0.05, bytes / rate);
+
+      trace::ConnRecord r;
+      r.start = cursor;
+      r.duration = duration;
+      r.protocol = trace::Protocol::kFtpData;
+      r.src_host = src;
+      r.dst_host = dst;
+      // Transfers are predominantly remote -> local in byte volume;
+      // the paper counts both directions, so put the payload on the
+      // responder side and a trickle of commands on the originator.
+      r.bytes_orig = 64;
+      r.bytes_resp = static_cast<std::uint64_t>(bytes);
+      r.session_id = sid;
+      out.add(r);
+
+      cursor += duration;
+      session_end = std::max(session_end, cursor);
+      if (k + 1 < n_conns) cursor += intra_dist_.sample(rng);
+      if (cursor >= t1) break;
+    }
+  }
+
+  // The enclosing FTP control connection (the paper's "FTP session").
+  trace::ConnRecord ctrl;
+  ctrl.start = session_start;
+  ctrl.duration =
+      std::max(5.0, session_end - session_start + 2.0 + 8.0 * rng.uniform01());
+  ctrl.protocol = trace::Protocol::kFtpCtrl;
+  ctrl.src_host = src;
+  ctrl.dst_host = dst;
+  ctrl.bytes_orig = 200 + rng.uniform_int(600);
+  ctrl.bytes_resp = 400 + rng.uniform_int(1200);
+  ctrl.session_id = sid;
+  out.add(ctrl);
+}
+
+void FtpSource::generate(rng::Rng& rng, double t0, double t1,
+                         const HostModel& hosts,
+                         std::uint64_t* next_session_id,
+                         trace::ConnTrace& out) const {
+  // User-driven sessions: Poisson with fixed hourly rates (Section III).
+  const auto session_starts = poisson_arrivals_hourly(
+      rng, config_.profile, config_.sessions_per_day, t0, t1);
+  for (double session_start : session_starts) {
+    generate_session(rng, session_start, t1, hosts, (*next_session_id)++,
+                     /*hot=*/false, out);
+  }
+
+  // Hot-file mirror events: clustered sessions fetching something huge.
+  // These make huge-burst arrivals non-Poisson (Section VI) — the hot
+  // sessions do NOT come from independent users.
+  if (config_.hot_events_per_day > 0.0) {
+    const double event_rate = config_.hot_events_per_day / 86400.0;
+    for (double event_t : poisson_arrivals(rng, event_rate, t0, t1)) {
+      const std::size_t n_sessions =
+          sample_geometric_sessions(rng);
+      for (std::size_t s = 0; s < n_sessions; ++s) {
+        const double offset =
+            -std::log(rng.uniform01_open_below()) * config_.hot_window;
+        const double start = event_t + offset;
+        if (start >= t1) continue;
+        generate_session(rng, start, t1, hosts, (*next_session_id)++,
+                         /*hot=*/true, out);
+      }
+    }
+  }
+}
+
+std::size_t FtpSource::sample_geometric_sessions(rng::Rng& rng) const {
+  // Geometric with mean hot_sessions_mean (>= 1).
+  const double mean = std::max(config_.hot_sessions_mean, 1.0);
+  if (mean <= 1.0) return 1;
+  const double p = 1.0 / mean;
+  const double u = rng.uniform01();
+  const double k = std::ceil(std::log1p(-u) / std::log1p(-p));
+  return k < 1.0 ? 1 : static_cast<std::size_t>(k);
+}
+
+}  // namespace wan::synth

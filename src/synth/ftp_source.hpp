@@ -1,0 +1,100 @@
+// FTP traffic synthesis — Section VI's structure:
+//   FTP sessions  : Poisson arrivals with fixed hourly rates (user-driven);
+//   within session: activity comes in *bursts* (directory listings,
+//                   mget transfers) separated by heavy-tailed think times;
+//   within burst  : FTPDATA connections in rapid succession (spacing well
+//                   under the 4 s burst-joining threshold);
+//   burst bytes   : Pareto-tailed (0.9 <= beta <= 1.4), so the largest
+//                   0.5% of bursts carry 30-60% of all FTPDATA bytes.
+#pragma once
+
+#include <cstdint>
+
+#include "src/dist/lognormal.hpp"
+#include "src/dist/pareto.hpp"
+#include "src/synth/arrivals.hpp"
+#include "src/synth/host_model.hpp"
+#include "src/trace/conn_trace.hpp"
+
+namespace wan::synth {
+
+struct FtpConfig {
+  double sessions_per_day = 2500.0;
+  DiurnalProfile profile = DiurnalProfile::ftp();
+
+  /// Bursts per session: 1 + min(DiscretePareto, cap). The discrete
+  /// Pareto keeps a heavy tail of very active sessions.
+  std::size_t max_bursts_per_session = 60;
+
+  /// Think time between bursts within a session (log-normal; mostly
+  /// 10 s - 1000 s, well above the 4 s burst threshold).
+  double think_log_mean = 4.1;   ///< ln seconds; e^4.1 ~ 60 s
+  double think_log_sd = 1.4;
+
+  /// FTPDATA connections per burst: 1 + min(DiscretePareto, cap). The
+  /// paper observes up to 979 connections in one burst and finds the
+  /// count "well-modeled as a Pareto distribution".
+  std::size_t max_conns_per_burst = 1200;
+
+  /// Spacing between connections inside a burst (end -> start;
+  /// log-normal, mostly 0.2 - 2 s — "mget" pacing).
+  double intra_log_mean = -0.35;  ///< ln seconds; e^-0.35 ~ 0.7 s
+  double intra_log_sd = 0.6;
+
+  /// Bytes per burst: truncated Pareto. beta near 1.05 reproduces the
+  /// "upper 0.5% of bursts hold 30-60% of bytes" finding; the truncation
+  /// bounds a burst by what a 1994 WAN could move in a long trace.
+  double burst_bytes_location = 4096.0;
+  double burst_bytes_shape = 1.06;
+  double burst_bytes_cap = 4.0e9;
+
+  /// Transfer rate for sizing connection durations (log-normal around
+  /// ~20 KB/s with large spread).
+  double rate_log_mean = 9.9;  ///< ln bytes/s; e^9.9 ~ 20 KB/s
+  double rate_log_sd = 0.9;
+
+  /// "Hot file" mirror events: occasionally a newly-released file draws
+  /// a cluster of sessions fetching something huge within a short
+  /// window. This is what clusters the *largest* bursts in time — the
+  /// paper found upper-0.5%-tail burst arrivals fail exponentiality at
+  /// every significance level (Section VI).
+  double hot_events_per_day = 8.0;
+  double hot_sessions_mean = 4.0;       ///< geometric sessions per event
+  double hot_window = 1800.0;           ///< exponential offset scale, s
+  double hot_bytes_multiplier = 200.0;  ///< scales burst_bytes_location
+};
+
+/// Generator for FTP session + FTPDATA connection records.
+class FtpSource {
+ public:
+  explicit FtpSource(FtpConfig config);
+
+  const FtpConfig& config() const { return config_; }
+
+  /// Synthesizes all FTP traffic over [t0, t1) into `out`. Session ids
+  /// are allocated from *next_session_id (incremented per session).
+  void generate(rng::Rng& rng, double t0, double t1, const HostModel& hosts,
+                std::uint64_t* next_session_id, trace::ConnTrace& out) const;
+
+  /// Per-burst helpers, exposed for unit tests.
+  std::size_t sample_bursts_per_session(rng::Rng& rng) const;
+  std::size_t sample_conns_per_burst(rng::Rng& rng) const;
+  double sample_burst_bytes(rng::Rng& rng) const;
+  std::size_t sample_geometric_sessions(rng::Rng& rng) const;
+
+ private:
+  /// Emits one session's bursts and control record starting at
+  /// session_start. hot==true draws burst bytes from the scaled-up law.
+  void generate_session(rng::Rng& rng, double session_start, double t1,
+                        const HostModel& hosts, std::uint64_t sid,
+                        bool hot, trace::ConnTrace& out) const;
+
+  FtpConfig config_;
+  dist::LogNormal think_dist_;
+  dist::LogNormal intra_dist_;
+  dist::TruncatedPareto burst_bytes_dist_;
+  dist::TruncatedPareto hot_bytes_dist_;
+  dist::LogNormal rate_dist_;
+};
+
+}  // namespace wan::synth

@@ -1,0 +1,36 @@
+#include "src/synth/host_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace wan::synth {
+
+HostModel::HostModel(std::uint32_t n_local, std::uint32_t n_remote,
+                     double zipf_exponent)
+    : n_local_(n_local), n_remote_(n_remote) {
+  if (n_local == 0 || n_remote == 0)
+    throw std::invalid_argument("HostModel: empty host pool");
+  remote_cdf_.resize(n_remote);
+  double cum = 0.0;
+  for (std::uint32_t i = 0; i < n_remote; ++i) {
+    cum += std::pow(static_cast<double>(i + 1), -zipf_exponent);
+    remote_cdf_[i] = cum;
+  }
+  for (double& v : remote_cdf_) v /= cum;
+}
+
+std::uint32_t HostModel::sample_local(rng::Rng& rng) const {
+  return static_cast<std::uint32_t>(rng.uniform_int(n_local_));
+}
+
+std::uint32_t HostModel::sample_remote(rng::Rng& rng) const {
+  const double u = rng.uniform01();
+  const auto it =
+      std::lower_bound(remote_cdf_.begin(), remote_cdf_.end(), u);
+  const auto idx = static_cast<std::uint32_t>(it - remote_cdf_.begin());
+  // Remote ids live above the local pool to keep the spaces disjoint.
+  return n_local_ + std::min(idx, n_remote_ - 1);
+}
+
+}  // namespace wan::synth

@@ -1,0 +1,33 @@
+// Host-pair sampling for synthesized traces: a site talks to remote hosts
+// with Zipf-like popularity (a few peers dominate), which matters when
+// SYN/FIN analysis groups FTPDATA connections by host pair.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/rng/rng.hpp"
+
+namespace wan::synth {
+
+/// Samples (local, remote) host pairs. Local hosts are uniform over a
+/// small pool; remote hosts follow a truncated Zipf(s) law over a larger
+/// pool, so a handful of popular servers attract much of the traffic.
+class HostModel {
+ public:
+  HostModel(std::uint32_t n_local, std::uint32_t n_remote,
+            double zipf_exponent = 1.0);
+
+  std::uint32_t sample_local(rng::Rng& rng) const;
+  std::uint32_t sample_remote(rng::Rng& rng) const;
+
+  std::uint32_t n_local() const { return n_local_; }
+  std::uint32_t n_remote() const { return n_remote_; }
+
+ private:
+  std::uint32_t n_local_;
+  std::uint32_t n_remote_;
+  std::vector<double> remote_cdf_;  // truncated-Zipf CDF over remote ids
+};
+
+}  // namespace wan::synth

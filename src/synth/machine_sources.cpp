@@ -1,0 +1,118 @@
+#include "src/synth/machine_sources.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wan::synth {
+
+std::size_t sample_geometric(rng::Rng& rng, double mean) {
+  if (mean <= 1.0) return 1;
+  const double p = 1.0 / mean;
+  // Inverse transform: ceil(log(1-u) / log(1-p)).
+  const double u = rng.uniform01();
+  const double k = std::ceil(std::log1p(-u) / std::log1p(-p));
+  return k < 1.0 ? 1 : static_cast<std::size_t>(k);
+}
+
+// ---------------------------------------------------------------- SMTP
+
+SmtpSource::SmtpSource(SmtpConfig config)
+    : config_(config),
+      duration_dist_(config.duration_log_mean, config.duration_log_sd),
+      bytes_dist_(config.bytes_log_mean, config.bytes_log_sd) {}
+
+void SmtpSource::emit(rng::Rng& rng, double start, const HostModel& hosts,
+                      trace::ConnTrace& out) const {
+  trace::ConnRecord r;
+  r.start = start;
+  r.duration = duration_dist_.sample(rng);
+  r.protocol = trace::Protocol::kSmtp;
+  r.src_host = hosts.sample_remote(rng);  // mail mostly arrives from afar
+  r.dst_host = hosts.sample_local(rng);
+  r.bytes_orig = static_cast<std::uint64_t>(bytes_dist_.sample(rng));
+  r.bytes_resp = 300 + rng.uniform_int(300);
+  out.add(r);
+}
+
+void SmtpSource::generate(rng::Rng& rng, double t0, double t1,
+                          const HostModel& hosts,
+                          trace::ConnTrace& out) const {
+  // Split the daily volume between singleton deliveries (Poisson-hourly)
+  // and mailing-list explosion batches.
+  const double singleton_per_day =
+      config_.conns_per_day * (1.0 - config_.batch_fraction);
+  const double batch_triggers_per_day = config_.conns_per_day *
+                                        config_.batch_fraction /
+                                        config_.batch_mean_size;
+
+  for (double t : poisson_arrivals_hourly(rng, config_.profile,
+                                          singleton_per_day, t0, t1)) {
+    emit(rng, t, hosts, out);
+  }
+  for (double trigger : poisson_arrivals_hourly(
+           rng, config_.profile, batch_triggers_per_day, t0, t1)) {
+    const std::size_t n = sample_geometric(rng, config_.batch_mean_size);
+    double t = trigger;
+    for (std::size_t i = 0; i < n && t < t1; ++i) {
+      emit(rng, t, hosts, out);
+      t += -std::log(rng.uniform01_open_below()) * config_.batch_gap_mean;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- NNTP
+
+NntpSource::NntpSource(NntpConfig config)
+    : config_(config),
+      cascade_gap_dist_(config.cascade_gap_log_mean, config.cascade_gap_log_sd),
+      duration_dist_(config.duration_log_mean, config.duration_log_sd),
+      bytes_dist_(config.bytes_log_mean, config.bytes_log_sd) {}
+
+void NntpSource::emit(rng::Rng& rng, double start, const HostModel& hosts,
+                      trace::ConnTrace& out) const {
+  trace::ConnRecord r;
+  r.start = start;
+  r.duration = duration_dist_.sample(rng);
+  r.protocol = trace::Protocol::kNntp;
+  r.src_host = hosts.sample_local(rng);
+  r.dst_host = hosts.sample_remote(rng);
+  r.bytes_orig = static_cast<std::uint64_t>(bytes_dist_.sample(rng));
+  r.bytes_resp = static_cast<std::uint64_t>(bytes_dist_.sample(rng) * 0.3);
+  out.add(r);
+}
+
+void NntpSource::generate(rng::Rng& rng, double t0, double t1,
+                          const HostModel& hosts,
+                          trace::ConnTrace& out) const {
+  // Timer-driven peers: strictly periodic with bounded jitter — the
+  // periodicity that makes NNTP arrivals decisively non-Poisson.
+  const double span = t1 - t0;
+  double timer_volume = 0.0;
+  for (std::size_t peer = 0; peer < config_.n_peers; ++peer) {
+    const double phase = rng.uniform(0.0, config_.timer_period);
+    for (double t = t0 + phase; t < t1; t += config_.timer_period) {
+      const double jittered =
+          t + rng.uniform(-config_.timer_jitter, config_.timer_jitter);
+      if (jittered < t0 || jittered >= t1) continue;
+      emit(rng, jittered, hosts, out);
+      timer_volume += 1.0;
+    }
+  }
+
+  // Flooding cascades supply the rest of the daily volume.
+  const double total_target = config_.conns_per_day * span / 86400.0;
+  const double cascade_conns = std::max(0.0, total_target - timer_volume);
+  const double triggers_per_day =
+      cascade_conns / config_.cascade_mean_size * 86400.0 / span;
+  for (double trigger : poisson_arrivals_hourly(rng, config_.profile,
+                                                triggers_per_day, t0, t1)) {
+    const std::size_t n = sample_geometric(rng, config_.cascade_mean_size);
+    double t = trigger;
+    for (std::size_t i = 0; i < n && t < t1; ++i) {
+      emit(rng, t, hosts, out);
+      t += cascade_gap_dist_.sample(rng);
+    }
+  }
+}
+
+}  // namespace wan::synth

@@ -1,0 +1,165 @@
+#include "src/synth/packet_fill.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/dist/lognormal.hpp"
+#include "src/sim/tcp.hpp"
+
+namespace wan::synth {
+
+namespace {
+
+bool is_bulk(trace::Protocol p) {
+  using trace::Protocol;
+  switch (p) {
+    case Protocol::kFtpData:
+    case Protocol::kFtpCtrl:
+    case Protocol::kSmtp:
+    case Protocol::kNntp:
+    case Protocol::kWww:
+    case Protocol::kX11:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Paces n packets across [start, start+duration) with jittered gaps.
+void pace_packets(rng::Rng& rng, double start, double duration,
+                  std::size_t n, double jitter, trace::Protocol proto,
+                  std::uint32_t conn_id, bool from_originator,
+                  std::uint16_t bytes, trace::PacketTrace& out) {
+  if (n == 0) return;
+  const double base_gap = duration / static_cast<double>(n);
+  double t = start;
+  for (std::size_t i = 0; i < n; ++i) {
+    trace::PacketRecord r;
+    r.time = t;
+    r.protocol = proto;
+    r.conn_id = conn_id;
+    r.from_originator = from_originator;
+    r.payload_bytes = bytes;
+    out.add(r);
+    const double u = rng.uniform(-jitter, jitter);
+    t += base_gap * (1.0 + u);
+  }
+}
+
+// Paces n packets using the TCP congestion-control model, affinely
+// rescaled so the transfer spans exactly [start, start+duration).
+void pace_packets_tcp(const PacketFillConfig& config, double start,
+                      double duration, std::size_t n, trace::Protocol proto,
+                      std::uint32_t conn_id, std::uint16_t bytes,
+                      trace::PacketTrace& out) {
+  sim::TcpConfig tcfg;
+  tcfg.rtt = config.tcp_rtt;
+  tcfg.buffer_packets = config.tcp_buffer;
+  tcfg.bottleneck_rate = config.tcp_bottleneck_rate;
+  const auto trace_tcp = sim::simulate_tcp_transfer(n, tcfg);
+  if (trace_tcp.departure_times.empty()) return;
+  const double span = std::max(trace_tcp.departure_times.back() -
+                                   trace_tcp.departure_times.front(),
+                               1e-9);
+  for (double dep : trace_tcp.departure_times) {
+    trace::PacketRecord r;
+    r.time = start +
+             (dep - trace_tcp.departure_times.front()) / span * duration;
+    r.protocol = proto;
+    r.conn_id = conn_id;
+    r.from_originator = false;  // data flows responder -> originator
+    r.payload_bytes = bytes;
+    out.add(r);
+  }
+}
+
+}  // namespace
+
+void fill_bulk_packets(rng::Rng& rng, const trace::ConnTrace& conns,
+                       const PacketFillConfig& config,
+                       std::uint32_t* next_conn_id,
+                       trace::PacketTrace& out) {
+  for (const trace::ConnRecord& c : conns.records()) {
+    if (!is_bulk(c.protocol)) continue;
+    const std::uint32_t id = (*next_conn_id)++;
+    const double duration = std::max(c.duration, 0.05);
+
+    const auto pkts_of = [&](std::uint64_t bytes) {
+      const auto n = static_cast<std::size_t>(
+          std::ceil(static_cast<double>(bytes) / config.data_packet_bytes));
+      return std::min(std::max<std::size_t>(n, 1),
+                      config.max_packets_per_conn);
+    };
+
+    const std::size_t n_orig = pkts_of(c.bytes_orig);
+    const std::size_t n_resp = pkts_of(c.bytes_resp);
+    const auto per_pkt_orig = static_cast<std::uint16_t>(std::min<double>(
+        static_cast<double>(c.bytes_orig) / static_cast<double>(n_orig),
+        65535.0));
+    const auto per_pkt_resp = static_cast<std::uint16_t>(std::min<double>(
+        static_cast<double>(c.bytes_resp) / static_cast<double>(n_resp),
+        65535.0));
+
+    pace_packets(rng, c.start, duration, n_orig, config.pacing_jitter,
+                 c.protocol, id, /*from_originator=*/true,
+                 std::max<std::uint16_t>(per_pkt_orig, 1), out);
+    if (config.tcp_dynamics && c.protocol == trace::Protocol::kFtpData &&
+        n_resp >= config.tcp_min_packets) {
+      pace_packets_tcp(config, c.start, duration, n_resp, c.protocol, id,
+                       std::max<std::uint16_t>(per_pkt_resp, 1), out);
+    } else {
+      pace_packets(rng, c.start, duration, n_resp, config.pacing_jitter,
+                   c.protocol, id, /*from_originator=*/false,
+                   std::max<std::uint16_t>(per_pkt_resp, 1), out);
+    }
+  }
+}
+
+void fill_dns_packets(rng::Rng& rng, const DnsConfig& config, double t0,
+                      double t1, std::uint32_t* next_conn_id,
+                      trace::PacketTrace& out) {
+  const double rate = config.queries_per_hour / 3600.0;
+  const dist::LogNormal delay(config.reply_delay_log_mean,
+                              config.reply_delay_log_sd);
+  for (double t : poisson_arrivals(rng, rate, t0, t1)) {
+    const std::uint32_t id = (*next_conn_id)++;
+    trace::PacketRecord q;
+    q.time = t;
+    q.protocol = trace::Protocol::kDns;
+    q.conn_id = id;
+    q.from_originator = true;
+    q.payload_bytes = static_cast<std::uint16_t>(40 + rng.uniform_int(40));
+    out.add(q);
+    const double reply_t = t + delay.sample(rng);
+    if (reply_t < t1) {
+      trace::PacketRecord a = q;
+      a.time = reply_t;
+      a.from_originator = false;
+      a.payload_bytes = static_cast<std::uint16_t>(80 + rng.uniform_int(200));
+      out.add(a);
+    }
+  }
+}
+
+void fill_mbone_packets(rng::Rng& rng, const MboneConfig& config, double t0,
+                        double t1, std::uint32_t* next_conn_id,
+                        trace::PacketTrace& out) {
+  const double rate = config.sessions_per_hour / 3600.0;
+  const dist::LogNormal session_len(config.session_log_mean,
+                                    config.session_log_sd);
+  for (double start : poisson_arrivals(rng, rate, t0, t1)) {
+    const std::uint32_t id = (*next_conn_id)++;
+    const double end = std::min(start + session_len.sample(rng), t1);
+    for (double t = start; t < end; t += config.packet_interval) {
+      trace::PacketRecord r;
+      r.time = t;
+      r.protocol = trace::Protocol::kMbone;
+      r.conn_id = id;
+      r.from_originator = true;
+      r.payload_bytes = config.packet_bytes;
+      out.add(r);
+    }
+  }
+}
+
+}  // namespace wan::synth

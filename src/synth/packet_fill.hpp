@@ -1,0 +1,77 @@
+// Packetization of connection records for link-level trace synthesis
+// (Figs. 10-13): given SYN/FIN-style connection records, emit a plausible
+// packet stream. Bulk transfers send ~512-byte data packets paced across
+// the connection's duration with window-echo jitter (Section VII notes
+// FTPDATA timing is network-determined, roughly constant-rate over larger
+// scales); interactive protocols are handled by their own sources.
+//
+// Also provides the non-TCP background of the link traces: DNS
+// request/reply pairs and constant-rate MBone audio.
+#pragma once
+
+#include <cstdint>
+
+#include "src/rng/rng.hpp"
+#include "src/synth/arrivals.hpp"
+#include "src/synth/host_model.hpp"
+#include "src/trace/conn_trace.hpp"
+#include "src/trace/packet_trace.hpp"
+
+namespace wan::synth {
+
+struct PacketFillConfig {
+  double data_packet_bytes = 512.0;  ///< typical 1994 WAN MSS
+  double pacing_jitter = 0.3;        ///< +-30% per-gap jitter
+  std::size_t max_packets_per_conn = 2'000'000;
+
+  /// When set, large FTPDATA connections are paced by the round-based
+  /// TCP model (slow start + AIMD) instead of uniform jittered gaps —
+  /// Section VII's point that FTPDATA timing is congestion-control
+  /// determined. Departures are rescaled to the connection's recorded
+  /// duration.
+  bool tcp_dynamics = false;
+  std::size_t tcp_min_packets = 200;  ///< smaller transfers stay uniform
+  double tcp_rtt = 0.1;
+  std::size_t tcp_buffer = 20;
+  /// The TCP model runs in *normalized* time at this bottleneck rate
+  /// (BDP = rate * rtt packets) and its departures are then rescaled to
+  /// the connection's recorded duration — only the window *structure*
+  /// (slow-start ramp, AIMD sawtooth) is imprinted, not absolute rates.
+  double tcp_bottleneck_rate = 100.0;
+};
+
+/// Emits data packets for every connection in `conns` whose protocol is
+/// in the bulk family (FTPDATA, SMTP, NNTP, WWW, FTP control, X11);
+/// both directions, paced over the connection duration. conn ids are
+/// assigned from *next_conn_id.
+void fill_bulk_packets(rng::Rng& rng, const trace::ConnTrace& conns,
+                       const PacketFillConfig& config,
+                       std::uint32_t* next_conn_id, trace::PacketTrace& out);
+
+struct DnsConfig {
+  double queries_per_hour = 4000.0;
+  double reply_delay_log_mean = -2.5;  ///< ln seconds (~80 ms)
+  double reply_delay_log_sd = 1.0;
+};
+
+/// Poisson DNS query/reply pairs (UDP); each query is one small packet,
+/// each reply another.
+void fill_dns_packets(rng::Rng& rng, const DnsConfig& config, double t0,
+                      double t1, std::uint32_t* next_conn_id,
+                      trace::PacketTrace& out);
+
+struct MboneConfig {
+  double sessions_per_hour = 1.5;
+  double session_log_mean = 6.5;  ///< ln seconds (~11 min)
+  double session_log_sd = 0.8;
+  double packet_interval = 0.04;  ///< 25 pkt/s audio
+  std::uint16_t packet_bytes = 320;
+};
+
+/// Constant-rate multicast audio sessions — the UDP traffic that does not
+/// back off under congestion (Section VII-C2).
+void fill_mbone_packets(rng::Rng& rng, const MboneConfig& config, double t0,
+                        double t1, std::uint32_t* next_conn_id,
+                        trace::PacketTrace& out);
+
+}  // namespace wan::synth

@@ -1,0 +1,205 @@
+#include "src/synth/synthesizer.hpp"
+
+#include <algorithm>
+
+namespace wan::synth {
+
+ConnDatasetConfig::ConnDatasetConfig() {
+  rlogin.protocol = trace::Protocol::kRlogin;
+  rlogin.conns_per_day = 1200.0;
+}
+
+trace::ConnTrace synthesize_conn_trace(const ConnDatasetConfig& config) {
+  rng::Rng root(config.seed);
+  const HostModel hosts(config.n_local_hosts, config.n_remote_hosts);
+  const double t0 = 0.0;
+  const double t1 = config.days * 86400.0;
+
+  trace::ConnTrace out(config.name, t0, t1);
+
+  {
+    rng::Rng r = root.child("telnet");
+    const TelnetSource src(config.telnet);
+    const auto conns =
+        src.generate_connections(r, t0, t1, InterarrivalScheme::kTcplib);
+    src.append_conn_records(r, conns, hosts, out);
+  }
+  {
+    rng::Rng r = root.child("rlogin");
+    const TelnetSource src(config.rlogin);
+    const auto conns =
+        src.generate_connections(r, t0, t1, InterarrivalScheme::kTcplib);
+    src.append_conn_records(r, conns, hosts, out);
+  }
+  std::uint64_t next_session = 1;
+  {
+    rng::Rng r = root.child("ftp");
+    const FtpSource src(config.ftp);
+    src.generate(r, t0, t1, hosts, &next_session, out);
+  }
+  if (config.include_weathermap) {
+    rng::Rng r = root.child("weathermap");
+    WeatherMapConfig wm = config.weathermap;
+    wm.local_host = 0;
+    // The weather server is an obscure host: the *last* remote id, whose
+    // Zipf popularity is negligible. (Using a popular remote would mix
+    // user FTP traffic into the same host pair and blur the periodic
+    // signature the detector looks for.)
+    wm.remote_host = config.n_local_hosts + config.n_remote_hosts - 1;
+    const WeatherMapSource src(wm);
+    src.generate(r, t0, t1, &next_session, out);
+  }
+  {
+    rng::Rng r = root.child("smtp");
+    const SmtpSource src(config.smtp);
+    src.generate(r, t0, t1, hosts, out);
+  }
+  {
+    rng::Rng r = root.child("nntp");
+    const NntpSource src(config.nntp);
+    src.generate(r, t0, t1, hosts, out);
+  }
+  {
+    rng::Rng r = root.child("www");
+    const WwwSource src(config.www);
+    src.generate(r, t0, t1, hosts, out);
+  }
+  {
+    rng::Rng r = root.child("x11");
+    const X11Source src(config.x11);
+    src.generate(r, t0, t1, hosts, out);
+  }
+
+  out.sort_by_start();
+  return out;
+}
+
+trace::PacketTrace synthesize_packet_trace(const PacketDatasetConfig& config) {
+  rng::Rng root(config.seed);
+  const HostModel hosts(config.n_local_hosts, config.n_remote_hosts);
+  const double t0 = config.start_hour * 3600.0;
+  const double t1 = t0 + config.hours * 3600.0;
+
+  trace::PacketTrace out(config.name, t0, t1);
+  std::uint32_t next_conn_id = 1;
+
+  // TELNET: FULL-TEL originator packets plus the responder model
+  // (echoes and command-output bursts) so the aggregate trace carries
+  // both directions.
+  {
+    rng::Rng r = root.child("telnet");
+    TelnetConfig tc = config.telnet;
+    tc.conns_per_day *= config.volume_scale;
+    const TelnetSource src(tc);
+    const auto conns =
+        src.generate_connections(r, t0, t1, InterarrivalScheme::kTcplib);
+    const auto telnet_pkts = src.to_packet_trace_with_responder(
+        r, conns, t0, t1, ResponderConfig{}, next_conn_id);
+    next_conn_id += static_cast<std::uint32_t>(conns.size());
+    for (const auto& p : telnet_pkts.records()) out.add(p);
+  }
+
+  // Bulk protocols: generate connection records, then packetize.
+  {
+    trace::ConnTrace bulk("bulk", t0, t1);
+    {
+      rng::Rng r = root.child("ftp");
+      FtpConfig fc = config.ftp;
+      fc.sessions_per_day *= config.volume_scale;
+      const FtpSource src(fc);
+      std::uint64_t next_session = 1;
+      src.generate(r, t0, t1, hosts, &next_session, bulk);
+    }
+    {
+      rng::Rng r = root.child("smtp");
+      SmtpConfig sc = config.smtp;
+      sc.conns_per_day *= config.volume_scale;
+      const SmtpSource src(sc);
+      src.generate(r, t0, t1, hosts, bulk);
+    }
+    {
+      rng::Rng r = root.child("nntp");
+      NntpConfig nc = config.nntp;
+      nc.conns_per_day *= config.volume_scale;
+      const NntpSource src(nc);
+      src.generate(r, t0, t1, hosts, bulk);
+    }
+    {
+      rng::Rng r = root.child("www");
+      WwwConfig wc = config.www;
+      wc.sessions_per_day *= config.volume_scale;
+      const WwwSource src(wc);
+      src.generate(r, t0, t1, hosts, bulk);
+    }
+    rng::Rng r = root.child("fill");
+    fill_bulk_packets(r, bulk, config.fill, &next_conn_id, out);
+  }
+
+  if (!config.tcp_only) {
+    rng::Rng r = root.child("udp");
+    DnsConfig dc = config.dns;
+    dc.queries_per_hour *= config.volume_scale;
+    fill_dns_packets(r, dc, t0, t1, &next_conn_id, out);
+    MboneConfig mc = config.mbone;
+    mc.sessions_per_hour *= config.volume_scale;
+    fill_mbone_packets(r, mc, t0, t1, &next_conn_id, out);
+  }
+
+  // Drop packets that drifted past the capture window and sort.
+  trace::PacketTrace clipped(config.name, t0, t1);
+  clipped.reserve(out.size());
+  for (const auto& p : out.records()) {
+    if (p.time >= t0 && p.time < t1) clipped.add(p);
+  }
+  clipped.sort_by_time();
+  return clipped;
+}
+
+ConnDatasetConfig lbl_conn_preset(std::string name, double days,
+                                  std::uint64_t seed) {
+  ConnDatasetConfig c;
+  c.name = std::move(name);
+  c.days = days;
+  c.seed = seed;
+  return c;  // defaults are LBL-like
+}
+
+ConnDatasetConfig small_site_conn_preset(std::string name, double days,
+                                         std::uint64_t seed) {
+  ConnDatasetConfig c;
+  c.name = std::move(name);
+  c.days = days;
+  c.seed = seed;
+  const double s = 0.2;
+  c.telnet.conns_per_day *= s;
+  c.rlogin.conns_per_day *= s;
+  c.ftp.sessions_per_day *= s;
+  c.smtp.conns_per_day *= s;
+  c.smtp.profile = DiurnalProfile::smtp_east();
+  c.nntp.conns_per_day *= s;
+  c.www.sessions_per_day *= s;
+  c.x11.sessions_per_day *= s;
+  return c;
+}
+
+PacketDatasetConfig lbl_pkt_preset(std::string name, bool tcp_only,
+                                   std::uint64_t seed) {
+  PacketDatasetConfig c;
+  c.name = std::move(name);
+  c.tcp_only = tcp_only;
+  c.seed = seed;
+  // ~270 TELNET connections in a 2 PM - 4 PM two-hour window: the two
+  // hours carry ~13% of the telnet() profile's day, so 270 / 0.13.
+  c.telnet.conns_per_day = 2100.0;
+  c.hours = tcp_only ? 2.0 : 1.0;
+  return c;
+}
+
+PacketDatasetConfig dec_wrl_pkt_preset(std::string name, std::uint64_t seed) {
+  PacketDatasetConfig c = lbl_pkt_preset(std::move(name), false, seed);
+  c.hours = 1.0;
+  c.volume_scale = 2.5;  // DEC WRL ran hotter than LBL
+  return c;
+}
+
+}  // namespace wan::synth

@@ -1,0 +1,54 @@
+#include "src/synth/weathermap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace wan::synth {
+
+WeatherMapSource::WeatherMapSource(WeatherMapConfig config)
+    : config_(config),
+      bytes_dist_(config.bytes_log_mean, config.bytes_log_sd) {
+  if (!(config_.period > 0.0))
+    throw std::invalid_argument("WeatherMapConfig: period must be > 0");
+  if (!(config_.rate_bytes_per_sec > 0.0))
+    throw std::invalid_argument("WeatherMapConfig: rate must be > 0");
+}
+
+void WeatherMapSource::generate(rng::Rng& rng, double t0, double t1,
+                                std::uint64_t* next_session_id,
+                                trace::ConnTrace& out) const {
+  const double phase = rng.uniform(0.0, config_.period);
+  for (double tick = t0 + phase; tick < t1; tick += config_.period) {
+    const double start =
+        tick + rng.uniform(-config_.jitter, config_.jitter);
+    if (start < t0 || start >= t1) continue;
+    const std::uint64_t sid = (*next_session_id)++;
+
+    const double bytes = bytes_dist_.sample(rng);
+    const double xfer = std::max(0.5, bytes / config_.rate_bytes_per_sec);
+
+    trace::ConnRecord data;
+    data.start = start + 1.0;  // control handshake first
+    data.duration = xfer;
+    data.protocol = trace::Protocol::kFtpData;
+    data.src_host = config_.local_host;
+    data.dst_host = config_.remote_host;
+    data.bytes_orig = 32;
+    data.bytes_resp = static_cast<std::uint64_t>(bytes);
+    data.session_id = sid;
+    out.add(data);
+
+    trace::ConnRecord ctrl;
+    ctrl.start = start;
+    ctrl.duration = xfer + 3.0;
+    ctrl.protocol = trace::Protocol::kFtpCtrl;
+    ctrl.src_host = config_.local_host;
+    ctrl.dst_host = config_.remote_host;
+    ctrl.bytes_orig = 180;
+    ctrl.bytes_resp = 300;
+    ctrl.session_id = sid;
+    out.add(ctrl);
+  }
+}
+
+}  // namespace wan::synth

@@ -1,0 +1,43 @@
+// The periodic "weather-map" FTP traffic of [35]: a timer-driven job at
+// one host fetching weather imagery from one remote server at a fixed
+// period. Section III notes this traffic was REMOVED before the Poisson
+// analysis "to avoid skewing our results" — so the synthesizer can
+// inject it, and trace/periodic.hpp can find and strip it, reproducing
+// the paper's preprocessing step mechanically.
+#pragma once
+
+#include <cstdint>
+
+#include "src/dist/lognormal.hpp"
+#include "src/rng/rng.hpp"
+#include "src/trace/conn_trace.hpp"
+
+namespace wan::synth {
+
+struct WeatherMapConfig {
+  double period = 3600.0;     ///< one fetch per hour
+  double jitter = 15.0;       ///< uniform +- seconds around each tick
+  std::uint32_t local_host = 0;
+  std::uint32_t remote_host = 1;
+  double bytes_log_mean = 10.6;  ///< ln bytes (~40 KB map)
+  double bytes_log_sd = 0.3;
+  double rate_bytes_per_sec = 20000.0;
+};
+
+/// Emits the weather-map job's FTP sessions (one control + one FTPDATA
+/// per period tick) into `out`.
+class WeatherMapSource {
+ public:
+  explicit WeatherMapSource(WeatherMapConfig config);
+
+  void generate(rng::Rng& rng, double t0, double t1,
+                std::uint64_t* next_session_id, trace::ConnTrace& out) const;
+
+  const WeatherMapConfig& config() const { return config_; }
+
+ private:
+  WeatherMapConfig config_;
+  dist::LogNormal bytes_dist_;
+};
+
+}  // namespace wan::synth

@@ -1,0 +1,91 @@
+#include "src/synth/www_source.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/dist/zipf.hpp"
+#include "src/synth/machine_sources.hpp"  // sample_geometric
+
+namespace wan::synth {
+
+// ----------------------------------------------------------------- WWW
+
+WwwSource::WwwSource(WwwConfig config)
+    : config_(config),
+      think_dist_(config.think_location, config.think_shape,
+                  config.think_cap),
+      duration_dist_(config.duration_log_mean, config.duration_log_sd),
+      bytes_dist_(config.bytes_log_mean, config.bytes_log_sd) {}
+
+void WwwSource::generate(rng::Rng& rng, double t0, double t1,
+                         const HostModel& hosts,
+                         trace::ConnTrace& out) const {
+  const auto sessions = poisson_arrivals_hourly(
+      rng, config_.profile, config_.sessions_per_day, t0, t1);
+  for (double session_start : sessions) {
+    const std::uint32_t src = hosts.sample_local(rng);
+    double cursor = session_start;
+    const std::size_t docs =
+        sample_geometric(rng, config_.docs_per_session_mean);
+    for (std::size_t d = 0; d < docs && cursor < t1; ++d) {
+      if (d > 0) cursor += think_dist_.sample(rng);
+      const std::uint32_t dst = hosts.sample_remote(rng);
+      const std::size_t objects =
+          sample_geometric(rng, config_.objects_per_doc_mean);
+      double t = cursor;
+      for (std::size_t o = 0; o < objects && t < t1; ++o) {
+        trace::ConnRecord r;
+        r.start = t;
+        r.duration = duration_dist_.sample(rng);
+        r.protocol = trace::Protocol::kWww;
+        r.src_host = src;
+        r.dst_host = dst;
+        r.bytes_orig = 150 + rng.uniform_int(250);  // request header
+        r.bytes_resp = static_cast<std::uint64_t>(bytes_dist_.sample(rng));
+        out.add(r);
+        t += -std::log(rng.uniform01_open_below()) * config_.object_gap_mean;
+      }
+      cursor = t;
+    }
+  }
+}
+
+// ----------------------------------------------------------------- X11
+
+X11Source::X11Source(X11Config config)
+    : config_(config),
+      gap_dist_(config.gap_location, config.gap_shape, config.gap_cap),
+      duration_dist_(config.duration_log_mean, config.duration_log_sd),
+      bytes_dist_(config.bytes_log_mean, config.bytes_log_sd) {}
+
+void X11Source::generate(rng::Rng& rng, double t0, double t1,
+                         const HostModel& hosts,
+                         trace::ConnTrace& out) const {
+  const auto sessions = poisson_arrivals_hourly(
+      rng, config_.profile, config_.sessions_per_day, t0, t1);
+  for (double session_start : sessions) {
+    const std::uint32_t src = hosts.sample_local(rng);
+    const std::uint32_t dst = hosts.sample_remote(rng);
+    // Connections-per-session has a heavy tail: most xterm sessions open
+    // a few windows, some open a great many.
+    const dist::DiscretePareto dp;
+    const std::size_t n_conns =
+        1 + std::min<std::size_t>(dp.sample(rng),
+                                  config_.max_conns_per_session - 1);
+    double cursor = session_start;
+    for (std::size_t i = 0; i < n_conns && cursor < t1; ++i) {
+      trace::ConnRecord r;
+      r.start = cursor;
+      r.duration = duration_dist_.sample(rng);
+      r.protocol = trace::Protocol::kX11;
+      r.src_host = src;
+      r.dst_host = dst;
+      r.bytes_orig = static_cast<std::uint64_t>(bytes_dist_.sample(rng));
+      r.bytes_resp = static_cast<std::uint64_t>(bytes_dist_.sample(rng));
+      out.add(r);
+      cursor += gap_dist_.sample(rng);
+    }
+  }
+}
+
+}  // namespace wan::synth

@@ -1,0 +1,81 @@
+// WWW and X11 sources — the remaining non-Poisson connection families of
+// Section III.
+//
+// WWW: a user session fetches a sequence of documents, each pulling a
+// handful of closely-spaced connections (HTTP/1.0 opened one connection
+// per object); documents are separated by heavy-tailed think times.
+//
+// X11: the paper conjectures X11 *session* arrivals are Poisson but X11
+// *connection* arrivals are not, because one session (an xterm, say)
+// spawns connections whenever the user "decides to do something new" —
+// akin to FTPDATA-within-session arrivals. We model exactly that.
+#pragma once
+
+#include "src/dist/lognormal.hpp"
+#include "src/dist/pareto.hpp"
+#include "src/synth/arrivals.hpp"
+#include "src/synth/host_model.hpp"
+#include "src/trace/conn_trace.hpp"
+
+namespace wan::synth {
+
+struct WwwConfig {
+  double sessions_per_day = 150.0;  ///< young protocol: low volume in 1994
+  DiurnalProfile profile = DiurnalProfile::www();
+  double docs_per_session_mean = 5.0;   ///< geometric
+  double objects_per_doc_mean = 2.5;    ///< geometric
+  double object_gap_mean = 0.5;         ///< exponential, seconds
+  /// Think time between documents: Pareto (heavy) — browsing pauses.
+  double think_location = 2.0;
+  double think_shape = 1.3;
+  double think_cap = 3600.0;
+  double duration_log_mean = 0.0;       ///< ln seconds (~1 s)
+  double duration_log_sd = 0.9;
+  double bytes_log_mean = 8.7;          ///< ln bytes (~6 KB)
+  double bytes_log_sd = 1.3;
+};
+
+class WwwSource {
+ public:
+  explicit WwwSource(WwwConfig config);
+  void generate(rng::Rng& rng, double t0, double t1, const HostModel& hosts,
+                trace::ConnTrace& out) const;
+  const WwwConfig& config() const { return config_; }
+
+ private:
+  WwwConfig config_;
+  dist::TruncatedPareto think_dist_;
+  dist::LogNormal duration_dist_;
+  dist::LogNormal bytes_dist_;
+};
+
+struct X11Config {
+  double sessions_per_day = 500.0;
+  DiurnalProfile profile = DiurnalProfile::telnet();
+  std::size_t max_conns_per_session = 200;
+  /// Gap between connections within a session: heavy-tailed Pareto —
+  /// "users deciding to do something new".
+  double gap_location = 3.0;
+  double gap_shape = 1.1;
+  double gap_cap = 7200.0;
+  double duration_log_mean = 4.0;  ///< ln seconds (~55 s; windows live on)
+  double duration_log_sd = 1.5;
+  double bytes_log_mean = 9.0;
+  double bytes_log_sd = 1.5;
+};
+
+class X11Source {
+ public:
+  explicit X11Source(X11Config config);
+  void generate(rng::Rng& rng, double t0, double t1, const HostModel& hosts,
+                trace::ConnTrace& out) const;
+  const X11Config& config() const { return config_; }
+
+ private:
+  X11Config config_;
+  dist::TruncatedPareto gap_dist_;
+  dist::LogNormal duration_dist_;
+  dist::LogNormal bytes_dist_;
+};
+
+}  // namespace wan::synth

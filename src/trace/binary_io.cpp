@@ -1,0 +1,98 @@
+#include "src/trace/binary_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace wan::trace {
+
+namespace {
+
+constexpr char kMagic[4] = {'W', 'A', 'N', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void put(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T get(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  if (!is) throw std::runtime_error("binary_io: truncated input");
+  return v;
+}
+
+}  // namespace
+
+void write_binary(const PacketTrace& trace, std::ostream& os) {
+  os.write(kMagic, 4);
+  put(os, kVersion);
+  put(os, trace.t_begin());
+  put(os, trace.t_end());
+  const auto name_len = static_cast<std::uint32_t>(trace.name().size());
+  put(os, name_len);
+  os.write(trace.name().data(), name_len);
+  put(os, static_cast<std::uint64_t>(trace.size()));
+  for (const PacketRecord& r : trace.records()) {
+    put(os, r.time);
+    put(os, static_cast<std::uint8_t>(r.protocol));
+    put(os, static_cast<std::uint8_t>(r.from_originator ? 1 : 0));
+    put(os, r.payload_bytes);
+    put(os, r.conn_id);
+  }
+  if (!os) throw std::runtime_error("binary_io: write failed");
+}
+
+void write_binary_file(const PacketTrace& trace, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) throw std::runtime_error("binary_io: cannot open " + path);
+  write_binary(trace, os);
+}
+
+PacketTrace read_packet_binary(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::memcmp(magic, kMagic, 4) != 0)
+    throw std::runtime_error("binary_io: bad magic");
+  const auto version = get<std::uint32_t>(is);
+  if (version != kVersion)
+    throw std::runtime_error("binary_io: unsupported version " +
+                             std::to_string(version));
+  const auto t_begin = get<double>(is);
+  const auto t_end = get<double>(is);
+  const auto name_len = get<std::uint32_t>(is);
+  if (name_len > 4096)
+    throw std::runtime_error("binary_io: implausible name length");
+  std::string name(name_len, '\0');
+  is.read(name.data(), name_len);
+  if (!is) throw std::runtime_error("binary_io: truncated name");
+  const auto count = get<std::uint64_t>(is);
+
+  PacketTrace trace(std::move(name), t_begin, t_end);
+  trace.reserve(count);
+  constexpr auto kMaxProtocol =
+      static_cast<std::uint8_t>(Protocol::kOther);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    PacketRecord r;
+    r.time = get<double>(is);
+    const auto proto = get<std::uint8_t>(is);
+    if (proto > kMaxProtocol)
+      throw std::runtime_error("binary_io: unknown protocol byte");
+    r.protocol = static_cast<Protocol>(proto);
+    r.from_originator = get<std::uint8_t>(is) != 0;
+    r.payload_bytes = get<std::uint16_t>(is);
+    r.conn_id = get<std::uint32_t>(is);
+    trace.add(r);
+  }
+  return trace;
+}
+
+PacketTrace read_packet_binary_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("binary_io: cannot open " + path);
+  return read_packet_binary(is);
+}
+
+}  // namespace wan::trace

@@ -1,0 +1,31 @@
+// Compact binary persistence for packet traces. CSV (csv_io.hpp) is the
+// interchange format; the binary format exists because packet traces run
+// to millions of records (Table II) and parse time matters when a bench
+// re-reads a synthesized hour of traffic.
+//
+// Format (little-endian):
+//   magic   "WANT"            4 bytes
+//   version u32               currently 1
+//   t_begin f64, t_end f64
+//   name_len u32, name bytes
+//   count   u64
+//   records: f64 time, u8 protocol, u8 from_originator, u16 payload,
+//            u32 conn_id                      (16 bytes each)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/trace/packet_trace.hpp"
+
+namespace wan::trace {
+
+void write_binary(const PacketTrace& trace, std::ostream& os);
+void write_binary_file(const PacketTrace& trace, const std::string& path);
+
+/// Throws std::runtime_error on a malformed stream (bad magic, version,
+/// truncated records, unknown protocol byte).
+PacketTrace read_packet_binary(std::istream& is);
+PacketTrace read_packet_binary_file(const std::string& path);
+
+}  // namespace wan::trace

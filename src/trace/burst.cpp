@@ -1,0 +1,89 @@
+#include "src/trace/burst.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace wan::trace {
+
+namespace {
+
+std::uint64_t group_key(const ConnRecord& r, SessionGrouping grouping) {
+  if (grouping == SessionGrouping::kSessionId) return r.session_id;
+  return (static_cast<std::uint64_t>(r.src_host) << 32) | r.dst_host;
+}
+
+// FTPDATA connections of each session, sorted by start time.
+std::map<std::uint64_t, std::vector<ConnRecord>> sessions_of(
+    const ConnTrace& trace, SessionGrouping grouping) {
+  std::map<std::uint64_t, std::vector<ConnRecord>> sessions;
+  for (const ConnRecord& r : trace.records()) {
+    if (r.protocol != Protocol::kFtpData) continue;
+    sessions[group_key(r, grouping)].push_back(r);
+  }
+  for (auto& [key, conns] : sessions) {
+    std::sort(conns.begin(), conns.end(),
+              [](const ConnRecord& a, const ConnRecord& b) {
+                return a.start < b.start;
+              });
+  }
+  return sessions;
+}
+
+}  // namespace
+
+std::vector<FtpBurst> find_ftp_bursts(const ConnTrace& trace, double gap,
+                                      SessionGrouping grouping) {
+  std::vector<FtpBurst> bursts;
+  for (const auto& [key, conns] : sessions_of(trace, grouping)) {
+    FtpBurst current;
+    bool open = false;
+    for (const ConnRecord& c : conns) {
+      if (open && c.start - current.end <= gap) {
+        current.end = std::max(current.end, c.end());
+        current.bytes += c.total_bytes();
+        current.n_connections += 1;
+      } else {
+        if (open) bursts.push_back(current);
+        current = FtpBurst{c.start, c.end(), c.total_bytes(), 1, key};
+        open = true;
+      }
+    }
+    if (open) bursts.push_back(current);
+  }
+  std::sort(bursts.begin(), bursts.end(),
+            [](const FtpBurst& a, const FtpBurst& b) {
+              return a.start < b.start;
+            });
+  return bursts;
+}
+
+std::vector<double> intra_session_spacings(const ConnTrace& trace,
+                                           SessionGrouping grouping,
+                                           double min_spacing) {
+  std::vector<double> spacings;
+  for (const auto& [key, conns] : sessions_of(trace, grouping)) {
+    for (std::size_t i = 1; i < conns.size(); ++i) {
+      const double s = conns[i].start - conns[i - 1].end();
+      spacings.push_back(std::max(s, min_spacing));
+    }
+  }
+  return spacings;
+}
+
+std::vector<double> burst_bytes(const std::vector<FtpBurst>& bursts) {
+  std::vector<double> out;
+  out.reserve(bursts.size());
+  for (const FtpBurst& b : bursts)
+    out.push_back(static_cast<double>(b.bytes));
+  return out;
+}
+
+std::vector<double> burst_start_times(const std::vector<FtpBurst>& bursts) {
+  std::vector<double> out;
+  out.reserve(bursts.size());
+  for (const FtpBurst& b : bursts) out.push_back(b.start);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace wan::trace

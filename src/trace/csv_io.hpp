@@ -1,0 +1,30 @@
+// CSV persistence for traces, so synthesized datasets can be saved,
+// shared, and re-analyzed with external tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "src/trace/conn_trace.hpp"
+#include "src/trace/packet_trace.hpp"
+
+namespace wan::trace {
+
+/// Writes "start,duration,protocol,src,dst,bytes_orig,bytes_resp,session"
+/// rows with a header line.
+void write_csv(const ConnTrace& trace, std::ostream& os);
+void write_csv_file(const ConnTrace& trace, const std::string& path);
+
+/// Reads the format written by write_csv. Throws std::runtime_error on
+/// malformed input.
+ConnTrace read_conn_csv(std::istream& is, std::string name = "csv");
+ConnTrace read_conn_csv_file(const std::string& path);
+
+/// Writes "time,protocol,conn,orig,payload" rows with a header line.
+void write_csv(const PacketTrace& trace, std::ostream& os);
+void write_csv_file(const PacketTrace& trace, const std::string& path);
+
+PacketTrace read_packet_csv(std::istream& is, std::string name = "csv");
+PacketTrace read_packet_csv_file(const std::string& path);
+
+}  // namespace wan::trace

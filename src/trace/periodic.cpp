@@ -1,0 +1,66 @@
+#include "src/trace/periodic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include "src/stats/descriptive.hpp"
+
+namespace wan::trace {
+
+namespace {
+
+using StreamKey = std::tuple<std::uint32_t, std::uint32_t, Protocol>;
+
+std::map<StreamKey, std::vector<double>> stream_arrivals(
+    const ConnTrace& trace) {
+  std::map<StreamKey, std::vector<double>> streams;
+  for (const ConnRecord& r : trace.records()) {
+    streams[{r.src_host, r.dst_host, r.protocol}].push_back(r.start);
+  }
+  for (auto& [key, times] : streams) std::sort(times.begin(), times.end());
+  return streams;
+}
+
+}  // namespace
+
+std::vector<PeriodicStream> detect_periodic_streams(
+    const ConnTrace& trace, const PeriodicDetectionConfig& config) {
+  std::vector<PeriodicStream> found;
+  for (const auto& [key, times] : stream_arrivals(trace)) {
+    if (times.size() < config.min_count) continue;
+    const auto gaps = stats::interarrivals(times);
+    const double m = stats::mean(gaps);
+    if (!(m > 0.0)) continue;
+    const double cv = stats::stddev(gaps) / m;
+    if (cv <= config.max_cv) {
+      PeriodicStream s;
+      std::tie(s.src_host, s.dst_host, s.protocol) = key;
+      s.connections = times.size();
+      s.mean_period = m;
+      s.cv = cv;
+      found.push_back(s);
+    }
+  }
+  return found;
+}
+
+ConnTrace remove_periodic_streams(const ConnTrace& trace,
+                                  const PeriodicDetectionConfig& config) {
+  const auto periodic = detect_periodic_streams(trace, config);
+  std::set<StreamKey> doomed;
+  for (const PeriodicStream& s : periodic) {
+    doomed.insert({s.src_host, s.dst_host, s.protocol});
+  }
+  ConnTrace out(trace.name() + "/deperiodic", trace.t_begin(),
+                trace.t_end());
+  for (const ConnRecord& r : trace.records()) {
+    if (doomed.contains({r.src_host, r.dst_host, r.protocol})) continue;
+    out.add(r);
+  }
+  return out;
+}
+
+}  // namespace wan::trace

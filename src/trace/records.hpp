@@ -1,0 +1,41 @@
+// The two record types of the paper's two trace families:
+//  * ConnRecord — what a TCP SYN/FIN trace captures (Table I): start
+//    time, duration, protocol, participating hosts, bytes each way;
+//  * PacketRecord — what a packet-level trace captures (Table II).
+#pragma once
+
+#include <cstdint>
+
+#include "src/trace/protocol.hpp"
+
+namespace wan::trace {
+
+/// One TCP connection as seen by a SYN/FIN monitor.
+struct ConnRecord {
+  double start = 0.0;      ///< seconds from trace origin
+  double duration = 0.0;   ///< seconds
+  Protocol protocol = Protocol::kOther;
+  std::uint32_t src_host = 0;
+  std::uint32_t dst_host = 0;
+  std::uint64_t bytes_orig = 0;  ///< originator -> responder payload bytes
+  std::uint64_t bytes_resp = 0;  ///< responder -> originator payload bytes
+  /// Groups FTPDATA connections with the FTP session (control connection)
+  /// that spawned them; 0 when not applicable. Real SYN/FIN analysis
+  /// groups by host pair — we keep the ground truth available and let the
+  /// burst code use either.
+  std::uint64_t session_id = 0;
+
+  double end() const { return start + duration; }
+  std::uint64_t total_bytes() const { return bytes_orig + bytes_resp; }
+};
+
+/// One packet as seen by a link monitor.
+struct PacketRecord {
+  double time = 0.0;
+  Protocol protocol = Protocol::kOther;
+  std::uint32_t conn_id = 0;        ///< connection the packet belongs to
+  bool from_originator = true;
+  std::uint16_t payload_bytes = 0;  ///< 0 == "pure ack"
+};
+
+}  // namespace wan::trace

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/models.hpp"
+#include "src/stats/counting.hpp"
+#include "src/stats/descriptive.hpp"
+#include "src/stats/poisson_test.hpp"
+#include "src/trace/burst.hpp"
+
+namespace wan::core {
+namespace {
+
+TEST(SessionArrivalModel, SamplesMatchRate) {
+  SessionArrivalModel m(synth::DiurnalProfile::flat(), 2400.0);
+  rng::Rng rng(1);
+  const auto t = m.sample_arrivals(rng, 0.0, 6.0 * 3600.0);
+  // 2400/day * 6/24 h = 600 expected.
+  EXPECT_NEAR(static_cast<double>(t.size()), 600.0, 120.0);
+  EXPECT_DOUBLE_EQ(m.sessions_per_day(), 2400.0);
+}
+
+TEST(SessionArrivalModel, ArrivalsPassAppendixA) {
+  SessionArrivalModel m(synth::DiurnalProfile::telnet(), 8000.0);
+  rng::Rng rng(2);
+  const auto t = m.sample_arrivals(rng, 8.0 * 3600.0, 20.0 * 3600.0);
+  stats::PoissonTestConfig cfg;
+  cfg.interval_length = 3600.0;
+  const auto r = stats::test_poisson_arrivals(t, cfg, 8.0 * 3600.0,
+                                              20.0 * 3600.0);
+  EXPECT_TRUE(r.poisson) << to_string(r);
+}
+
+TEST(FullTelnetModel, SingleParameterGeneratesTraffic) {
+  FullTelnetModel m(136.5);
+  rng::Rng rng(3);
+  const auto pt = m.generate(rng, 0.0, 7200.0);
+  EXPECT_GT(pt.size(), 5000u);
+  for (const auto& r : pt.records()) {
+    EXPECT_EQ(r.protocol, trace::Protocol::kTelnet);
+    EXPECT_TRUE(r.from_originator);
+  }
+}
+
+TEST(FullTelnetModel, TcplibBurstierThanExponentialScheme) {
+  FullTelnetModel m(136.5);
+  rng::Rng a(4), b(4);
+  const auto tc = m.generate(a, 0.0, 7200.0,
+                             synth::InterarrivalScheme::kTcplib);
+  const auto ex = m.generate(b, 0.0, 7200.0,
+                             synth::InterarrivalScheme::kExponential);
+  const auto ct = stats::bin_counts(tc.packet_times(), 0.0, 7200.0, 1.0);
+  const auto ce = stats::bin_counts(ex.packet_times(), 0.0, 7200.0, 1.0);
+  // Normalized variance (burstiness) is far higher under Tcplib.
+  const double bt = stats::variance(ct) / std::max(stats::mean(ct), 1e-9);
+  const double be = stats::variance(ce) / std::max(stats::mean(ce), 1e-9);
+  EXPECT_GT(bt, 1.5 * be);
+}
+
+TEST(FtpModel, GeneratesSessionsAndBursts) {
+  FtpModel m(400.0);
+  rng::Rng rng(5);
+  const auto t = m.generate(rng, 0.0, 4.0 * 3600.0);
+  EXPECT_GT(t.arrival_times(trace::Protocol::kFtpCtrl).size(), 500u);
+  EXPECT_GT(t.arrival_times(trace::Protocol::kFtpData).size(), 800u);
+  const auto bursts = trace::find_ftp_bursts(t, 4.0);
+  EXPECT_GT(bursts.size(), 400u);
+}
+
+TEST(FtpModel, RecordsSortedByStart) {
+  FtpModel m(100.0);
+  rng::Rng rng(6);
+  const auto t = m.generate(rng, 0.0, 3600.0);
+  double prev = -1.0;
+  for (const auto& r : t.records()) {
+    EXPECT_GE(r.start, prev);
+    prev = r.start;
+  }
+}
+
+}  // namespace
+}  // namespace wan::core

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/poisson_report.hpp"
+#include "src/core/vt_comparison.hpp"
+#include "src/stats/descriptive.hpp"
+#include "src/synth/synthesizer.hpp"
+
+namespace wan::core {
+namespace {
+
+// The paper's central Fig. 2 verdicts, reproduced end-to-end on a
+// synthetic day of traffic. This is the headline integration test.
+class PoissonReportFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::ConnDatasetConfig cfg;
+    cfg.name = "LBL-TEST";
+    cfg.days = 1.0;
+    cfg.seed = 20240607;
+    trace_ = new trace::ConnTrace(synth::synthesize_conn_trace(cfg));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    trace_ = nullptr;
+  }
+
+  static const stats::PoissonTestResult* find(
+      const std::vector<ProtocolVerdict>& rows, const std::string& label) {
+    for (const auto& v : rows) {
+      if (v.label == label) return &v.result;
+    }
+    return nullptr;
+  }
+
+  static trace::ConnTrace* trace_;
+};
+
+trace::ConnTrace* PoissonReportFixture::trace_ = nullptr;
+
+TEST_F(PoissonReportFixture, HourlyVerdictsMatchPaper) {
+  PoissonReportConfig cfg;
+  cfg.interval_length = 3600.0;
+  const auto rows = poisson_report(*trace_, cfg);
+
+  const auto* telnet = find(rows, "TELNET");
+  const auto* ftp = find(rows, "FTP");
+  const auto* ftpdata = find(rows, "FTPDATA");
+  const auto* nntp = find(rows, "NNTP");
+  const auto* x11 = find(rows, "X11");
+  ASSERT_NE(telnet, nullptr);
+  ASSERT_NE(ftp, nullptr);
+  ASSERT_NE(ftpdata, nullptr);
+  ASSERT_NE(nntp, nullptr);
+  ASSERT_NE(x11, nullptr);
+
+  // Section III: TELNET connections and FTP sessions are Poisson with
+  // fixed hourly rates; FTPDATA, NNTP, X11 are decidedly not.
+  EXPECT_TRUE(telnet->poisson) << to_string(*telnet);
+  EXPECT_TRUE(ftp->poisson) << to_string(*ftp);
+  EXPECT_FALSE(ftpdata->poisson) << to_string(*ftpdata);
+  EXPECT_FALSE(nntp->poisson) << to_string(*nntp);
+  EXPECT_FALSE(x11->poisson) << to_string(*x11);
+
+  // FTPDATA is not merely borderline: its exponentiality pass rate is
+  // far below TELNET's.
+  EXPECT_LT(ftpdata->frac_pass_exponential,
+            telnet->frac_pass_exponential - 0.2);
+}
+
+TEST_F(PoissonReportFixture, RloginAlsoPoisson) {
+  PoissonReportConfig cfg;
+  cfg.interval_length = 3600.0;
+  const auto rows = poisson_report(*trace_, cfg);
+  const auto* rlogin = find(rows, "RLOGIN");
+  ASSERT_NE(rlogin, nullptr);
+  EXPECT_TRUE(rlogin->poisson) << to_string(*rlogin);
+}
+
+TEST_F(PoissonReportFixture, BurstCoalescingImprovesTenMinuteFit) {
+  // Section III: coalescing FTPDATA connections into bursts improves the
+  // 10-minute Poisson fit "somewhat, but still falls short".
+  PoissonReportConfig cfg;
+  cfg.interval_length = 600.0;
+  const auto rows = poisson_report(*trace_, cfg);
+  const auto* conns = find(rows, "FTPDATA");
+  const auto* bursts = find(rows, "FTPDATA-burst");
+  ASSERT_NE(conns, nullptr);
+  ASSERT_NE(bursts, nullptr);
+  EXPECT_GT(bursts->frac_pass_exponential, conns->frac_pass_exponential);
+}
+
+TEST_F(PoissonReportFixture, RenderedTableMentionsAllRows) {
+  PoissonReportConfig cfg;
+  const auto rows = poisson_report(*trace_, cfg);
+  const auto table = render_poisson_report(rows);
+  EXPECT_NE(table.find("TELNET"), std::string::npos);
+  EXPECT_NE(table.find("FTPDATA"), std::string::npos);
+  EXPECT_NE(table.find("POISSON"), std::string::npos);
+  EXPECT_NE(table.find("not-Poisson"), std::string::npos);
+}
+
+// ------------------------------------------------------- VT comparison
+
+class VtFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    VtComparisonConfig cfg;
+    cfg.seed = 99;
+    cmp_ = new VtComparison(run_vt_comparison(cfg));
+  }
+  static void TearDownTestSuite() {
+    delete cmp_;
+    cmp_ = nullptr;
+  }
+  static VtComparison* cmp_;
+};
+
+VtComparison* VtFixture::cmp_ = nullptr;
+
+TEST_F(VtFixture, AllFourSchemesPresent) {
+  for (const char* k : {"TRACE", "TCPLIB", "EXP", "VAR-EXP"}) {
+    EXPECT_TRUE(cmp_->counts.contains(k)) << k;
+    EXPECT_TRUE(cmp_->vt.contains(k)) << k;
+  }
+  EXPECT_GT(cmp_->n_connections, 150u);
+}
+
+TEST_F(VtFixture, Fig5TcplibTracksTraceExpDoesNot) {
+  // Fig. 5: TCPLIB agrees with the trace; EXP and VAR-EXP sit far below
+  // (less variance) at intermediate aggregation.
+  const auto at_m = [&](const std::string& k, std::size_t target) {
+    double best = 0.0;
+    double best_dist = 1e18;
+    for (const auto& p : cmp_->vt.at(k).points) {
+      const double dist = std::abs(
+          std::log10(static_cast<double>(p.m)) -
+          std::log10(static_cast<double>(target)));
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = p.normalized;
+      }
+    }
+    return best;
+  };
+  for (std::size_t m : {10u, 100u}) {
+    const double trace_v = at_m("TRACE", m);
+    const double tcplib_v = at_m("TCPLIB", m);
+    const double exp_v = at_m("EXP", m);
+    const double varexp_v = at_m("VAR-EXP", m);
+    // TCPLIB within a factor ~2 of the trace...
+    EXPECT_LT(std::abs(std::log10(tcplib_v / trace_v)), 0.35) << m;
+    // ...while EXP/VAR-EXP clearly underestimate variance. (The paper's
+    // own Section-IV numbers put the 1 s-bin variance ratio at ~2.5x;
+    // here connection-size heterogeneity — shared by all schemes —
+    // dilutes the gap at coarse M, so require a ~1.5x margin.)
+    EXPECT_LT(exp_v, 0.68 * trace_v) << m;
+    EXPECT_LT(varexp_v, 0.8 * trace_v) << m;
+  }
+}
+
+TEST_F(VtFixture, ExpSlopeSteeperThanTrace) {
+  const auto trace_fit = cmp_->vt.at("TRACE").fit_slope(1, 300);
+  const auto exp_fit = cmp_->vt.at("EXP").fit_slope(1, 300);
+  // Poisson-ish EXP decays near -1; the trace decays more shallowly.
+  EXPECT_LT(exp_fit.slope, trace_fit.slope);
+  EXPECT_GT(trace_fit.slope, -0.95);
+}
+
+TEST(FullTelComparison, Fig7ModelTracksTrace) {
+  VtComparisonConfig cfg;
+  cfg.seed = 123;
+  const auto cmp = run_fulltel_comparison(cfg, 2);
+  ASSERT_TRUE(cmp.vt.contains("TRACE"));
+  ASSERT_TRUE(cmp.vt.contains("FULL-TEL-1"));
+  // Compare normalized variance at M ~ 10 (1 s scale): model within a
+  // factor ~3 of the trace (the paper reports "agreement quite good,
+  // slightly higher variance for M > 10^2").
+  const auto near_m = [](const stats::VarianceTimePlot& vt, std::size_t m) {
+    double best = 0.0, dist = 1e18;
+    for (const auto& p : vt.points) {
+      const double d = std::abs(std::log10(double(p.m) / double(m)));
+      if (d < dist) {
+        dist = d;
+        best = p.normalized;
+      }
+    }
+    return best;
+  };
+  const double t = near_m(cmp.vt.at("TRACE"), 10);
+  const double f = near_m(cmp.vt.at("FULL-TEL-1"), 10);
+  EXPECT_LT(std::abs(std::log10(f / t)), 0.5);
+}
+
+}  // namespace
+}  // namespace wan::core

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "src/dist/exponential.hpp"
+#include "src/dist/pareto.hpp"
+#include "src/rng/rng.hpp"
+#include "src/stats/descriptive.hpp"
+
+namespace wan::dist {
+namespace {
+
+TEST(Pareto, CdfMatchesDefinition) {
+  Pareto p(2.0, 1.5);
+  EXPECT_DOUBLE_EQ(p.cdf(2.0), 0.0);
+  EXPECT_DOUBLE_EQ(p.cdf(1.0), 0.0);
+  EXPECT_NEAR(p.cdf(4.0), 1.0 - std::pow(0.5, 1.5), 1e-12);
+}
+
+TEST(Pareto, QuantileInvertsCdf) {
+  Pareto p(0.5, 0.9);
+  for (double prob = 0.05; prob < 1.0; prob += 0.05) {
+    EXPECT_NEAR(p.cdf(p.quantile(prob)), prob, 1e-10);
+  }
+}
+
+TEST(Pareto, InfiniteMomentThresholds) {
+  // Appendix B: beta <= 1 -> infinite mean; beta <= 2 -> infinite variance.
+  EXPECT_FALSE(std::isfinite(Pareto(1.0, 0.9).mean()));
+  EXPECT_FALSE(std::isfinite(Pareto(1.0, 1.0).mean()));
+  EXPECT_TRUE(std::isfinite(Pareto(1.0, 1.1).mean()));
+  EXPECT_FALSE(std::isfinite(Pareto(1.0, 1.9).variance()));
+  EXPECT_TRUE(std::isfinite(Pareto(1.0, 2.1).variance()));
+}
+
+TEST(Pareto, MeanClosedForm) {
+  Pareto p(3.0, 2.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 6.0);  // beta a / (beta - 1)
+}
+
+TEST(Pareto, CmexIsLinearInX) {
+  // Appendix B: CMEX_x = x / (beta - 1) for beta > 1 — the defining
+  // "the longer you have waited, the longer your expected future wait".
+  Pareto p(1.0, 1.5);
+  EXPECT_NEAR(p.cmex(2.0), 2.0 / 0.5, 1e-12);
+  EXPECT_NEAR(p.cmex(10.0), 10.0 / 0.5, 1e-12);
+  EXPECT_GT(p.cmex(10.0), p.cmex(2.0));
+}
+
+TEST(Pareto, TruncationInvariance) {
+  // Appendix B eq. (2): X | X > x0 is Pareto(x0, beta).
+  Pareto p(1.0, 1.3);
+  const double x0 = 5.0;
+  Pareto conditioned(x0, 1.3);
+  for (double y : {6.0, 10.0, 50.0, 500.0}) {
+    const double lhs = p.tail(y) / p.tail(x0);  // P[X > y | X > x0]
+    EXPECT_NEAR(lhs, conditioned.tail(y), 1e-12) << "y=" << y;
+  }
+}
+
+TEST(Pareto, ScaleInvariance) {
+  // P[X > 2x] / P[X > x] is constant in x.
+  Pareto p(1.0, 0.9);
+  const double r1 = p.tail(4.0) / p.tail(2.0);
+  const double r2 = p.tail(400.0) / p.tail(200.0);
+  EXPECT_NEAR(r1, r2, 1e-12);
+  EXPECT_NEAR(r1, std::pow(2.0, -0.9), 1e-12);
+}
+
+TEST(Pareto, SamplesRespectSupportAndLaw) {
+  rng::Rng rng(17);
+  Pareto p(2.0, 1.4);
+  int above_10 = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = p.sample(rng);
+    ASSERT_GE(x, 2.0);
+    if (x > 10.0) ++above_10;
+  }
+  EXPECT_NEAR(above_10 / static_cast<double>(n), p.tail(10.0), 0.005);
+}
+
+TEST(Pareto, RejectsBadParameters) {
+  EXPECT_THROW(Pareto(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(Pareto(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(Pareto(-1.0, 1.0), std::invalid_argument);
+}
+
+// ------------------------------------------------------ TruncatedPareto
+
+class TruncatedParetoShapes : public ::testing::TestWithParam<double> {};
+
+TEST_P(TruncatedParetoShapes, MomentsMatchMonteCarlo) {
+  const double beta = GetParam();
+  TruncatedPareto tp(1.0, beta, 1000.0);
+  rng::Rng rng(23);
+  std::vector<double> xs(200000);
+  for (double& x : xs) x = tp.sample(rng);
+  const double mc_mean = stats::mean(xs);
+  EXPECT_NEAR(mc_mean, tp.mean(), 0.05 * tp.mean() + 0.3) << "beta=" << beta;
+  EXPECT_TRUE(std::isfinite(tp.variance()));
+  EXPECT_GT(tp.variance(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Betas, TruncatedParetoShapes,
+                         ::testing::Values(0.6, 0.9, 1.0, 1.06, 1.4, 2.0,
+                                           2.5));
+
+TEST(TruncatedPareto, CdfHitsOneAtUpper) {
+  TruncatedPareto tp(1.0, 1.1, 50.0);
+  EXPECT_DOUBLE_EQ(tp.cdf(50.0), 1.0);
+  EXPECT_DOUBLE_EQ(tp.cdf(1.0), 0.0);
+  EXPECT_NEAR(tp.quantile(1.0), 50.0, 1e-9);
+}
+
+TEST(TruncatedPareto, QuantileInvertsCdf) {
+  TruncatedPareto tp(0.5, 0.95, 360.0);
+  for (double p = 0.05; p < 1.0; p += 0.05) {
+    EXPECT_NEAR(tp.cdf(tp.quantile(p)), p, 1e-10);
+  }
+}
+
+TEST(TruncatedPareto, ApproachesUntruncatedAsUpperGrows) {
+  Pareto p(1.0, 2.5);
+  TruncatedPareto tp(1.0, 2.5, 1e9);
+  EXPECT_NEAR(tp.mean(), p.mean(), 1e-6);
+  for (double x : {1.5, 3.0, 10.0}) {
+    EXPECT_NEAR(tp.cdf(x), p.cdf(x), 1e-6);
+  }
+}
+
+TEST(TruncatedPareto, LogMomentBranch) {
+  // k == beta exercises the logarithmic moment formula.
+  TruncatedPareto tp(1.0, 1.0, 100.0);
+  // E[X] = (1 * 1 / norm) * ln(100) with norm = 1 - 1/100.
+  const double expect = std::log(100.0) / (1.0 - 0.01);
+  EXPECT_NEAR(tp.mean(), expect, 1e-9);
+}
+
+TEST(TruncatedPareto, RejectsBadParameters) {
+  EXPECT_THROW(TruncatedPareto(1.0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(TruncatedPareto(1.0, 0.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(TruncatedPareto(0.0, 1.0, 2.0), std::invalid_argument);
+}
+
+// ------------------------------------- the paper's Appendix-B tail fact
+
+TEST(ParetoVsExponential, UpperHalfPercentTailMassContrast) {
+  // "the upper 0.5% tail of an exponential distribution always holds
+  // about 3% of the entire mass ... regardless of the mean"; a Pareto
+  // holds far more.
+  Exponential e(123.0);
+  // For exponential: E[X 1{X > q}] / E[X] at q = Q(0.995):
+  // contribution = (q + mean) e^{-q/mean} / mean.
+  const double q = e.quantile(0.995);
+  const double frac = (q + 123.0) * std::exp(-q / 123.0) / 123.0;
+  EXPECT_NEAR(frac, 0.0315, 0.002);  // ~3%, independent of mean
+
+  Exponential e2(0.01);
+  const double q2 = e2.quantile(0.995);
+  const double frac2 = (q2 + 0.01) * std::exp(-q2 / 0.01) / 0.01;
+  EXPECT_NEAR(frac2, frac, 1e-9);
+
+  // Pareto beta=1.06: Monte Carlo the top-0.5% mass share.
+  rng::Rng rng(31);
+  TruncatedPareto p(1.0, 1.06, 1e9);
+  std::vector<double> xs(50000);
+  for (double& x : xs) x = p.sample(rng);
+  std::sort(xs.begin(), xs.end(), std::greater<>());
+  double total = 0.0, top = 0.0;
+  const std::size_t k = xs.size() / 200;  // 0.5%
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    total += xs[i];
+    if (i < k) top += xs[i];
+  }
+  EXPECT_GT(top / total, 0.2);  // vastly more than the exponential's 3%
+}
+
+}  // namespace
+}  // namespace wan::dist

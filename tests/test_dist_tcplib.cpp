@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/dist/exponential.hpp"
+#include "src/dist/tcplib.hpp"
+#include "src/rng/rng.hpp"
+#include "src/stats/descriptive.hpp"
+#include "src/stats/tail_fit.hpp"
+
+namespace wan::dist {
+namespace {
+
+TEST(Tcplib, RoundtripCdfQuantile) {
+  TcplibTelnetInterarrival d;
+  for (double p = 0.01; p < 1.0; p += 0.01) {
+    EXPECT_NEAR(d.cdf(d.quantile(p)), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(Tcplib, SupportBounds) {
+  TcplibTelnetInterarrival d;
+  EXPECT_DOUBLE_EQ(d.cdf(0.0005), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(400.0), 1.0);
+  EXPECT_GE(d.quantile(0.0), 0.001);
+  EXPECT_LE(d.quantile(1.0), 360.0);
+}
+
+TEST(Tcplib, PaperFactUnder2PercentBelow8ms) {
+  // Section IV: "for the actual data under 2% were less than 8 ms apart".
+  TcplibTelnetInterarrival d;
+  EXPECT_LT(d.cdf(0.008), 0.02);
+  EXPECT_GT(d.cdf(0.008), 0.0);
+}
+
+TEST(Tcplib, PaperFactOver15PercentAbove1s) {
+  // "over 15% were more than 1 s apart".
+  TcplibTelnetInterarrival d;
+  EXPECT_GT(d.tail(1.0), 0.15);
+  EXPECT_LT(d.tail(1.0), 0.30);  // but not wildly more
+}
+
+TEST(Tcplib, MeanNearPapersMatchedExponential) {
+  // The paper pairs Tcplib against an exponential with mean 1.1 s chosen
+  // to give "roughly the same number of packets".
+  TcplibTelnetInterarrival d;
+  EXPECT_GT(d.mean(), 0.9);
+  EXPECT_LT(d.mean(), 1.7);
+}
+
+TEST(Tcplib, SampleMeanMatchesAnalytic) {
+  TcplibTelnetInterarrival d;
+  rng::Rng rng(101);
+  std::vector<double> xs(200000);
+  for (double& x : xs) x = d.sample(rng);
+  EXPECT_NEAR(stats::mean(xs), d.mean(), 0.1 * d.mean());
+}
+
+TEST(Tcplib, UpperTailApproximatesPareto095) {
+  // Appendix C / Section IV: upper 3% tail ~ Pareto(beta ~ 0.95).
+  TcplibTelnetInterarrival d;
+  rng::Rng rng(102);
+  std::vector<double> xs(300000);
+  for (double& x : xs) x = d.sample(rng);
+  // Hill over the top 1% (inside the Pareto tail segment but clear of
+  // the truncation point's bias would be ideal; truncation flattens the
+  // estimate upward slightly).
+  const auto hill = stats::hill_estimator(xs, xs.size() / 100);
+  EXPECT_GT(hill.beta, 0.75);
+  EXPECT_LT(hill.beta, 1.35);
+}
+
+TEST(Tcplib, BodyApproximatesPareto09) {
+  // The CCDF between 0.3 s and the tail start should fall with log-log
+  // slope ~ -0.9.
+  TcplibTelnetInterarrival d;
+  std::vector<double> lx, lp;
+  for (double x = 0.35; x < d.tail_start() * 0.9; x *= 1.15) {
+    lx.push_back(std::log10(x));
+    lp.push_back(std::log10(d.tail(x)));
+  }
+  const auto fit = stats::linear_fit(lx, lp);
+  EXPECT_NEAR(fit.slope, -0.9, 0.05);
+}
+
+TEST(Tcplib, MuchHeavierThanExponentialFit) {
+  // Fig. 3's message: exponentials fitted to either mean fail badly.
+  TcplibTelnetInterarrival d;
+  Exponential exp_arith(d.mean());
+  // The exponential grossly underestimates the >10 s tail.
+  EXPECT_GT(d.tail(10.0), 5.0 * exp_arith.tail(10.0));
+}
+
+TEST(Tcplib, GeometricMeanFitMispredictsTails) {
+  // Reproduce the Fig. 3 contrast quantitatively: an exponential with
+  // the sample's geometric mean overpredicts short gaps and
+  // underpredicts long ones.
+  TcplibTelnetInterarrival d;
+  rng::Rng rng(103);
+  std::vector<double> xs(100000);
+  for (double& x : xs) x = d.sample(rng);
+  const double gm = stats::geometric_mean(xs);
+  Exponential exp_geo(gm);
+  EXPECT_GT(exp_geo.cdf(0.008), 2.0 * d.cdf(0.008));
+  EXPECT_LT(exp_geo.tail(1.0), d.tail(1.0));
+}
+
+TEST(Tcplib, TailStartNearSixSeconds) {
+  // With the paper parameterization the 97th percentile (Pareto-tail
+  // splice point) lands around 6 s.
+  TcplibTelnetInterarrival d;
+  EXPECT_GT(d.tail_start(), 3.0);
+  EXPECT_LT(d.tail_start(), 12.0);
+  EXPECT_NEAR(d.cdf(d.tail_start()), 0.97, 1e-9);
+}
+
+TEST(Tcplib, AblationShapesMoveTheTail) {
+  TcplibParams heavy = TcplibParams::paper();
+  heavy.beta_tail = 0.8;  // heavier
+  TcplibParams light = TcplibParams::paper();
+  light.beta_tail = 1.3;  // lighter
+  TcplibTelnetInterarrival dh(heavy), dl(light);
+  EXPECT_GT(dh.tail(60.0), dl.tail(60.0));
+}
+
+TEST(Tcplib, RejectsInconsistentParams) {
+  TcplibParams bad = TcplibParams::paper();
+  bad.p_below_8ms = 0.5;  // above p_below_100ms
+  EXPECT_THROW(TcplibTelnetInterarrival{bad}, std::invalid_argument);
+
+  TcplibParams bad2 = TcplibParams::paper();
+  bad2.max_interarrival = 1.0;  // below the tail start
+  EXPECT_THROW(TcplibTelnetInterarrival{bad2}, std::invalid_argument);
+}
+
+TEST(Tcplib, VarianceFiniteAndLarge) {
+  // Truncation makes moments finite, but the variance still dwarfs an
+  // exponential's with the same mean (burstiness!).
+  TcplibTelnetInterarrival d;
+  EXPECT_TRUE(std::isfinite(d.variance()));
+  EXPECT_GT(d.variance(), 3.0 * d.mean() * d.mean());
+}
+
+}  // namespace
+}  // namespace wan::dist

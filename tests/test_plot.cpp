@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/plot/ascii_plot.hpp"
+#include "src/plot/series_io.hpp"
+
+namespace wan::plot {
+namespace {
+
+TEST(Fmt, SignificantDigits) {
+  EXPECT_EQ(fmt(3.14159, 3), "3.14");
+  EXPECT_EQ(fmt(1234567.0, 3), "1.23e+06");
+  EXPECT_EQ(fmt(0.5, 2), "0.5");
+}
+
+TEST(Render, GlyphsAppearInGrid) {
+  Series s;
+  s.label = "data";
+  s.glyph = '#';
+  s.x = {1.0, 2.0, 3.0};
+  s.y = {1.0, 4.0, 9.0};
+  AxesConfig axes;
+  axes.title = "squares";
+  const auto out = render({s}, axes);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("squares"), std::string::npos);
+  EXPECT_NE(out.find("data"), std::string::npos);
+}
+
+TEST(Render, MultipleSeriesInLegend) {
+  Series a, b;
+  a.label = "alpha";
+  a.glyph = 'a';
+  a.x = {1.0};
+  a.y = {1.0};
+  b.label = "beta";
+  b.glyph = 'b';
+  b.x = {2.0};
+  b.y = {2.0};
+  const auto out = render({a, b}, {});
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("beta"), std::string::npos);
+}
+
+TEST(Render, LogAxesSkipNonPositive) {
+  Series s;
+  s.label = "mixed";
+  s.x = {-1.0, 0.0, 10.0, 100.0};
+  s.y = {1.0, 1.0, 10.0, 100.0};
+  AxesConfig axes;
+  axes.log_x = true;
+  axes.log_y = true;
+  const auto out = render({s}, axes);  // must not crash
+  EXPECT_NE(out.find('*'), std::string::npos);
+}
+
+TEST(Render, SinglePointDoesNotCrash) {
+  Series s;
+  s.label = "pt";
+  s.x = {5.0};
+  s.y = {5.0};
+  const auto out = render({s}, {});
+  EXPECT_FALSE(out.empty());
+}
+
+TEST(Render, EmptySeriesProducesFrame) {
+  const auto out = render({}, {});
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(RenderTable, ColumnsAligned) {
+  const auto out = render_table({"name", "value"},
+                                {{"alpha", "1"}, {"beta-long", "22"}});
+  std::istringstream is(out);
+  std::string header, sep, row1, row2;
+  std::getline(is, header);
+  std::getline(is, sep);
+  std::getline(is, row1);
+  std::getline(is, row2);
+  // "value" column starts at the same offset in every row.
+  const auto col = header.find("value");
+  EXPECT_EQ(row1.find('1'), col);
+  EXPECT_EQ(row2.find("22"), col);
+  EXPECT_NE(sep.find("---"), std::string::npos);
+}
+
+TEST(RenderTable, ShortRowsPadded) {
+  const auto out = render_table({"a", "b", "c"}, {{"x"}});
+  EXPECT_NE(out.find('x'), std::string::npos);
+}
+
+TEST(SeriesIo, WritesCsvColumns) {
+  const std::string path = ::testing::TempDir() + "/wan_series_test.csv";
+  write_columns_csv(path, {"m", "var"}, {{1.0, 2.0, 3.0}, {0.5, 0.25}});
+  std::ifstream is(path);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line, "m,var");
+  std::getline(is, line);
+  EXPECT_EQ(line, "1,0.5");
+  std::getline(is, line);
+  EXPECT_EQ(line, "2,0.25");
+  std::getline(is, line);
+  EXPECT_EQ(line, "3,");
+  std::remove(path.c_str());
+}
+
+TEST(SeriesIo, Validation) {
+  EXPECT_THROW(write_columns_csv("/nonexistent-dir-xyz/f.csv", {"a"}, {{1.0}}),
+               std::runtime_error);
+  EXPECT_THROW(
+      write_columns_csv(::testing::TempDir() + "/x.csv", {"a", "b"}, {{1.0}}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wan::plot

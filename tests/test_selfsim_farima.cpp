@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/rng/rng.hpp"
+#include "src/selfsim/farima.hpp"
+#include "src/stats/autocorr.hpp"
+#include "src/stats/descriptive.hpp"
+#include "src/stats/variance_time.hpp"
+
+namespace wan::selfsim {
+namespace {
+
+TEST(FarimaCoefficients, RecursionMatchesGammaFormula) {
+  const double d = 0.3;
+  const auto psi = farima_ma_coefficients(d, 20);
+  ASSERT_EQ(psi.size(), 20u);
+  EXPECT_DOUBLE_EQ(psi[0], 1.0);
+  for (std::size_t j = 1; j < psi.size(); ++j) {
+    const double direct =
+        std::tgamma(static_cast<double>(j) + d) /
+        (std::tgamma(static_cast<double>(j) + 1.0) * std::tgamma(d));
+    EXPECT_NEAR(psi[j], direct, 1e-9 * std::abs(direct) + 1e-12) << j;
+  }
+}
+
+TEST(FarimaCoefficients, HyperbolicDecay) {
+  // psi_j ~ j^{d-1} / Gamma(d): ratio psi_{2j}/psi_j -> 2^{d-1}.
+  const double d = 0.4;
+  const auto psi = farima_ma_coefficients(d, 4096);
+  EXPECT_NEAR(psi[4000] / psi[2000], std::pow(2.0, d - 1.0), 1e-3);
+}
+
+TEST(FarimaCoefficients, NegativeDAlternates) {
+  const auto psi = farima_ma_coefficients(-0.3, 10);
+  EXPECT_DOUBLE_EQ(psi[0], 1.0);
+  EXPECT_LT(psi[1], 0.0);   // first difference-like behavior
+  EXPECT_LT(psi[2], 0.0);   // stays negative for 0 > d > -1
+}
+
+TEST(FarimaCoefficients, RejectsBadD) {
+  EXPECT_THROW(farima_ma_coefficients(0.5, 10), std::invalid_argument);
+  EXPECT_THROW(farima_ma_coefficients(-0.6, 10), std::invalid_argument);
+}
+
+TEST(Farima, DZeroIsWhiteNoise) {
+  rng::Rng rng(1);
+  const auto x = generate_farima(rng, 20000, 0.0, 1.0, 512);
+  EXPECT_NEAR(stats::variance(x), 1.0, 0.05);
+  EXPECT_LT(std::abs(stats::lag1_autocorrelation(x)), 0.02);
+}
+
+TEST(Farima, PositiveDHasLongMemory) {
+  rng::Rng rng(2);
+  const double d = 0.3;  // H = 0.8
+  const auto x = generate_farima(rng, 1 << 15, d, 1.0, 2048);
+  const auto vt = stats::variance_time_plot(x);
+  EXPECT_NEAR(vt.hurst(1, 500), d + 0.5, 0.1);
+  // Long-lag autocorrelation stays positive.
+  const auto r = stats::autocorrelation(x, 100);
+  EXPECT_GT(r[50], 0.0);
+  EXPECT_GT(r[100], 0.0);
+}
+
+TEST(Farima, Lag1MatchesTheory) {
+  // rho(1) = d / (1 - d) for fARIMA(0,d,0).
+  rng::Rng rng(3);
+  const double d = 0.25;
+  double acc = 0.0;
+  const int reps = 4;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto x = generate_farima(rng, 1 << 14, d, 1.0, 2048);
+    acc += stats::lag1_autocorrelation(x);
+  }
+  EXPECT_NEAR(acc / reps, d / (1.0 - d), 0.03);
+}
+
+TEST(Farima, SigmaScales) {
+  rng::Rng rng(4);
+  const auto x = generate_farima(rng, 8192, 0.2, 3.0, 1024);
+  // Var(X) = sigma^2 * Gamma(1-2d)/Gamma(1-d)^2 for fARIMA(0,d,0).
+  const double expect = 9.0 * std::tgamma(1.0 - 0.4) /
+                        (std::tgamma(1.0 - 0.2) * std::tgamma(1.0 - 0.2));
+  EXPECT_NEAR(stats::variance(x), expect, 0.2 * expect);
+}
+
+}  // namespace
+}  // namespace wan::selfsim

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/rng/rng.hpp"
+#include "src/selfsim/farima.hpp"
+#include "src/selfsim/fgn.hpp"
+#include "src/selfsim/hurst_report.hpp"
+#include "src/stats/descriptive.hpp"
+#include "src/stats/gph.hpp"
+#include "src/synth/packet_fill.hpp"
+#include "src/synth/synthesizer.hpp"
+#include "src/trace/packet_trace.hpp"
+
+namespace wan::selfsim {
+namespace {
+
+// ------------------------------------------------------------------ GPH
+
+class GphSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GphSweep, RecoversHurstOfFgn) {
+  const double h = GetParam();
+  rng::Rng rng(300 + static_cast<std::uint64_t>(h * 100));
+  // GPH is noisy; average a few replicates.
+  double acc = 0.0;
+  const int reps = 5;
+  for (int r = 0; r < reps; ++r) {
+    const auto x = generate_fgn(rng, 8192, h);
+    acc += stats::gph_estimator(x, 256).hurst;
+  }
+  EXPECT_NEAR(acc / reps, h, 0.08) << "H=" << h;
+}
+
+INSTANTIATE_TEST_SUITE_P(HurstValues, GphSweep,
+                         ::testing::Values(0.5, 0.7, 0.9));
+
+TEST(Gph, DefaultBandwidthIsSqrtN) {
+  rng::Rng rng(1);
+  const auto x = generate_fgn(rng, 4096, 0.7);
+  const auto r = stats::gph_estimator(x);
+  EXPECT_NEAR(static_cast<double>(r.frequencies), 64.0, 2.0);
+  EXPECT_GT(r.stderr_d, 0.0);
+}
+
+TEST(Gph, Validation) {
+  std::vector<double> x(100, 1.0);
+  EXPECT_THROW(stats::gph_estimator(x, 2), std::invalid_argument);
+  EXPECT_THROW(stats::gph_estimator(x, 1000), std::invalid_argument);
+}
+
+// --------------------------------------------------------- hurst_report
+
+TEST(HurstReport, AllEstimatorsAgreeOnExactFgn) {
+  rng::Rng rng(2);
+  const auto x = generate_fgn(rng, 1 << 14, 0.8);
+  const auto r = hurst_report(x);
+  // VT carries the usual finite-sample downward bias for LRD series.
+  EXPECT_NEAR(r.vt_hurst, 0.8, 0.12);
+  EXPECT_NEAR(r.whittle_fgn_hurst, 0.8, 0.06);
+  EXPECT_NEAR(r.whittle_farima_hurst, 0.8, 0.1);
+  EXPECT_NEAR(r.gph_hurst, 0.8, 0.15);
+  EXPECT_NEAR(r.consensus(), 0.8, 0.08);
+  EXPECT_TRUE(r.fgn_consistent);
+}
+
+TEST(HurstReport, WhiteNoiseConsensusNearHalf) {
+  rng::Rng rng(3);
+  std::vector<double> x(1 << 14);
+  for (double& v : x) v = rng.uniform(0.0, 2.0);
+  const auto r = hurst_report(x);
+  EXPECT_NEAR(r.consensus(), 0.5, 0.08);
+}
+
+TEST(HurstReport, FarimaDetected) {
+  rng::Rng rng(4);
+  const auto x = generate_farima(rng, 1 << 14, 0.3, 1.0, 2048);
+  const auto r = hurst_report(x);
+  EXPECT_NEAR(r.consensus(), 0.8, 0.1);
+}
+
+TEST(HurstReport, RenderingMentionsEveryEstimator) {
+  rng::Rng rng(5);
+  const auto x = generate_fgn(rng, 2048, 0.7);
+  const auto s = hurst_report(x).to_string();
+  for (const char* token : {"VT", "R/S", "GPH", "fGn", "fARIMA", "Beran"}) {
+    EXPECT_NE(s.find(token), std::string::npos) << token;
+  }
+}
+
+TEST(HurstReport, Validation) {
+  std::vector<double> tiny(100, 1.0);
+  EXPECT_THROW(hurst_report(tiny), std::invalid_argument);
+}
+
+// ----------------------------------------------- TCP-paced packet fill
+
+TEST(TcpPacedFill, WindowDynamicsRoughenTheGapProcess) {
+  // One big FTPDATA connection: with TCP pacing (small buffer, so AIMD
+  // halving dips below the bandwidth-delay product and the link idles in
+  // sawtooth troughs) the inter-packet gap CV far exceeds the uniform
+  // filler's jittered pacing.
+  trace::ConnTrace conns("t", 0.0, 1000.0);
+  trace::ConnRecord big;
+  big.start = 0.0;
+  big.duration = 500.0;
+  big.protocol = trace::Protocol::kFtpData;
+  big.bytes_resp = 512 * 2000;  // 2000 packets
+  conns.add(big);
+
+  const auto gap_cv = [&conns](bool tcp) {
+    synth::PacketFillConfig cfg;
+    cfg.tcp_dynamics = tcp;
+    cfg.tcp_min_packets = 100;
+    cfg.tcp_buffer = 4;  // deep AIMD sawtooth
+    rng::Rng rng(6);
+    trace::PacketTrace out("p", 0.0, 1000.0);
+    std::uint32_t id = 1;
+    synth::fill_bulk_packets(rng, conns, cfg, &id, out);
+    std::vector<double> resp_times;
+    for (const auto& r : out.records()) {
+      if (!r.from_originator) resp_times.push_back(r.time);
+    }
+    EXPECT_GT(resp_times.size(), 1500u);
+    std::sort(resp_times.begin(), resp_times.end());
+    const auto gaps = stats::interarrivals(resp_times);
+    return stats::stddev(gaps) / stats::mean(gaps);
+  };
+  const double cv_tcp = gap_cv(true);
+  const double cv_uniform = gap_cv(false);
+  EXPECT_GT(cv_tcp, 1.5 * cv_uniform)
+      << "tcp " << cv_tcp << " uniform " << cv_uniform;
+}
+
+TEST(TcpPacedFill, SmallConnectionsStayUniform) {
+  trace::ConnTrace conns("t", 0.0, 100.0);
+  trace::ConnRecord small;
+  small.start = 0.0;
+  small.duration = 10.0;
+  small.protocol = trace::Protocol::kFtpData;
+  small.bytes_resp = 512 * 20;  // 20 packets, below tcp_min_packets
+  conns.add(small);
+
+  synth::PacketFillConfig cfg;
+  cfg.tcp_dynamics = true;
+  rng::Rng rng(7);
+  trace::PacketTrace out("p", 0.0, 100.0);
+  std::uint32_t id = 1;
+  synth::fill_bulk_packets(rng, conns, cfg, &id, out);
+  // Still packetized, just via the uniform path.
+  std::size_t resp = 0;
+  for (const auto& r : out.records()) resp += r.from_originator ? 0 : 1;
+  EXPECT_EQ(resp, 20u);
+}
+
+TEST(TcpPacedFill, PacketCountPreserved) {
+  trace::ConnTrace conns("t", 0.0, 1000.0);
+  trace::ConnRecord big;
+  big.start = 5.0;
+  big.duration = 100.0;
+  big.protocol = trace::Protocol::kFtpData;
+  big.bytes_resp = 512 * 500;
+  conns.add(big);
+
+  synth::PacketFillConfig cfg;
+  cfg.tcp_dynamics = true;
+  cfg.tcp_min_packets = 100;
+  rng::Rng rng(8);
+  trace::PacketTrace out("p", 0.0, 1000.0);
+  std::uint32_t id = 1;
+  synth::fill_bulk_packets(rng, conns, cfg, &id, out);
+  std::size_t resp = 0;
+  double max_t = 0.0;
+  for (const auto& r : out.records()) {
+    if (!r.from_originator) {
+      ++resp;
+      max_t = std::max(max_t, r.time);
+    }
+  }
+  EXPECT_EQ(resp, 500u);
+  EXPECT_LE(max_t, 5.0 + 100.0 + 1e-6);
+}
+
+}  // namespace
+}  // namespace wan::selfsim

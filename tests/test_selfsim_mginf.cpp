@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/dist/exponential.hpp"
+#include "src/dist/lognormal.hpp"
+#include "src/dist/pareto.hpp"
+#include "src/rng/rng.hpp"
+#include "src/selfsim/mginf.hpp"
+#include "src/stats/autocorr.hpp"
+#include "src/stats/descriptive.hpp"
+#include "src/stats/variance_time.hpp"
+
+namespace wan::selfsim {
+namespace {
+
+TEST(MgInf, PoissonMarginalForExponentialService) {
+  // Stationary M/G/inf occupancy is Poisson(rate * E[S]): mean == var.
+  rng::Rng rng(1);
+  const dist::Exponential life(5.0);
+  MgInfConfig cfg;
+  cfg.arrival_rate = 4.0;
+  cfg.warmup = 200.0;
+  const auto x = mginf_count_process(rng, life, 20000, cfg);
+  EXPECT_NEAR(stats::mean(x), 20.0, 0.8);
+  EXPECT_NEAR(stats::variance(x), 20.0, 2.5);
+}
+
+TEST(MgInf, ParetoMarginalMeanMatchesAppendixD) {
+  // Appendix D: mean = rate * beta * a / (beta - 1).
+  rng::Rng rng(2);
+  const dist::Pareto life(1.0, 1.5);
+  MgInfConfig cfg;
+  cfg.arrival_rate = 2.0;
+  cfg.warmup = 30000.0;  // heavy tails need a long warmup
+  const auto x = mginf_count_process(rng, life, 20000, cfg);
+  const double expect = 2.0 * 1.5 * 1.0 / 0.5;  // = 6
+  EXPECT_NEAR(stats::mean(x), expect, 0.8);
+}
+
+TEST(MgInf, AutocovarianceFormulaExponential) {
+  // r(k) = rate * Integral_k^inf e^{-x/mu} dx = rate * mu * e^{-k/mu}.
+  const dist::Exponential life(5.0);
+  for (double k : {0.0, 1.0, 5.0, 10.0}) {
+    EXPECT_NEAR(mginf_autocovariance(life, 2.0, k),
+                2.0 * 5.0 * std::exp(-k / 5.0), 0.05);
+  }
+}
+
+TEST(MgInf, AutocovarianceParetoIsHyperbolic) {
+  // Appendix D: r(k) = rate * a^beta * k^{1-beta} / (beta - 1) for k > a.
+  const dist::Pareto life(1.0, 1.5);
+  for (double k : {2.0, 10.0, 50.0}) {
+    const double expect = 1.0 * std::pow(1.0, 1.5) *
+                          std::pow(k, -0.5) / 0.5;
+    EXPECT_NEAR(mginf_autocovariance(life, 1.0, k), expect, 0.02 * expect);
+  }
+}
+
+TEST(MgInf, LognormalAcovSummableParetoNot) {
+  // Appendix D vs E in one check: partial sums of r(k) keep growing for
+  // Pareto lifetimes (non-summable; LRD) but level off for log-normal.
+  const dist::Pareto pareto_life(1.0, 1.5);
+  const dist::LogNormal lognormal_life(0.0, 1.0);
+  double pareto_head = 0.0, pareto_tail = 0.0;
+  double ln_head = 0.0, ln_tail = 0.0;
+  for (int k = 1; k <= 100; ++k) {
+    const double rp = mginf_autocovariance(pareto_life, 1.0, k);
+    const double rl = mginf_autocovariance(lognormal_life, 1.0, k);
+    if (k <= 50) {
+      pareto_head += rp;
+      ln_head += rl;
+    } else {
+      pareto_tail += rp;
+      ln_tail += rl;
+    }
+  }
+  // Tail block contributes a sizable share for Pareto, a vanishing one
+  // for log-normal.
+  EXPECT_GT(pareto_tail / pareto_head, 0.3);
+  EXPECT_LT(ln_tail / ln_head, 0.05);
+}
+
+TEST(MgInf, ParetoLifetimesGiveLongRangeDependentCounts) {
+  rng::Rng rng(3);
+  const dist::Pareto life(1.0, 1.4);  // H = (3 - beta)/2 = 0.8
+  MgInfConfig cfg;
+  cfg.arrival_rate = 5.0;
+  cfg.warmup = 50000.0;
+  const auto x = mginf_count_process(rng, life, 1 << 15, cfg);
+  const auto vt = stats::variance_time_plot(x);
+  const double h = vt.hurst(4, 2000);
+  EXPECT_GT(h, 0.65);
+}
+
+TEST(MgInf, ExponentialLifetimesGiveShortRangeCounts) {
+  rng::Rng rng(4);
+  const dist::Exponential life(2.0);
+  MgInfConfig cfg;
+  cfg.arrival_rate = 5.0;
+  cfg.warmup = 200.0;
+  const auto x = mginf_count_process(rng, life, 1 << 15, cfg);
+  const auto vt = stats::variance_time_plot(x);
+  EXPECT_NEAR(vt.hurst(4, 2000), 0.5, 0.1);
+}
+
+TEST(MgInf, Validation) {
+  rng::Rng rng(5);
+  const dist::Exponential life(1.0);
+  MgInfConfig cfg;
+  cfg.arrival_rate = 0.0;
+  EXPECT_THROW(mginf_count_process(rng, life, 10, cfg),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ M/G/k
+
+TEST(MgK, LargeKMatchesMgInf) {
+  rng::Rng rng(6);
+  const dist::Exponential svc(2.0);
+  MgInfConfig cfg;
+  cfg.arrival_rate = 3.0;
+  cfg.warmup = 300.0;
+  // With k far above the offered load (6 Erlangs), queueing is rare.
+  const auto x = mgk_count_process(rng, svc, 100, 10000, cfg);
+  EXPECT_NEAR(stats::mean(x), 6.0, 0.5);
+  EXPECT_NEAR(stats::variance(x), 6.0, 1.2);
+}
+
+TEST(MgK, SingleServerSaturatesUnderOverload) {
+  rng::Rng rng(7);
+  const dist::Exponential svc(2.0);  // service rate 0.5
+  MgInfConfig cfg;
+  cfg.arrival_rate = 1.0;  // rho = 2: unstable, queue grows
+  cfg.warmup = 0.0;
+  const auto x = mgk_count_process(rng, svc, 1, 2000, cfg);
+  // Number in system drifts upward roughly as (lambda - mu) t.
+  EXPECT_GT(x.back(), 500.0);
+  EXPECT_GT(x.back(), x[100]);
+}
+
+TEST(MgK, StableQueueHasErlangCMean) {
+  // M/M/2 with rho = 0.5 overall: mean number in system is analytically
+  // ~2.13 (2 rho + queue term). Loose check.
+  rng::Rng rng(8);
+  const dist::Exponential svc(1.0);
+  MgInfConfig cfg;
+  cfg.arrival_rate = 1.0;  // offered 1 Erlang over 2 servers
+  cfg.warmup = 2000.0;
+  const auto x = mgk_count_process(rng, svc, 2, 30000, cfg);
+  EXPECT_NEAR(stats::mean(x), 1.33, 0.25);  // M/M/2 exact: 4/3
+}
+
+TEST(MgK, Validation) {
+  rng::Rng rng(9);
+  const dist::Exponential svc(1.0);
+  EXPECT_THROW(mgk_count_process(rng, svc, 0, 10), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wan::selfsim

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/dist/exponential.hpp"
+#include "src/dist/pareto.hpp"
+#include "src/rng/rng.hpp"
+#include "src/selfsim/onoff.hpp"
+#include "src/selfsim/pareto_renewal.hpp"
+#include "src/stats/counting.hpp"
+#include "src/stats/descriptive.hpp"
+#include "src/stats/variance_time.hpp"
+
+namespace wan::selfsim {
+namespace {
+
+// ---------------------------------------------------------------- ON/OFF
+
+TEST(OnOff, MeanRateMatchesDutyCycle) {
+  rng::Rng rng(1);
+  const dist::Exponential on(2.0), off(6.0);
+  OnOffConfig cfg;
+  cfg.n_sources = 20;
+  cfg.rate_on = 3.0;
+  const auto counts = onoff_aggregate_counts(rng, on, off, 20000, cfg);
+  // Each source contributes rate * E[on]/(E[on]+E[off]) = 3 * 0.25.
+  EXPECT_NEAR(stats::mean(counts), 20.0 * 3.0 * 0.25, 1.0);
+}
+
+TEST(OnOff, HeavyTailedPeriodsGiveLongRangeDependence) {
+  rng::Rng rng(2);
+  const dist::Pareto on(1.0, 1.4), off(1.0, 1.4);
+  OnOffConfig heavy_cfg;
+  heavy_cfg.n_sources = 30;
+  const auto heavy =
+      onoff_aggregate_counts(rng, on, off, 1 << 15, heavy_cfg);
+  const double h_heavy = stats::variance_time_plot(heavy).hurst(4, 2000);
+
+  const dist::Exponential eon(3.0), eoff(3.0);
+  const auto light =
+      onoff_aggregate_counts(rng, eon, eoff, 1 << 15, heavy_cfg);
+  const double h_light = stats::variance_time_plot(light).hurst(4, 2000);
+
+  // [28]'s construction: heavy-tailed periods push H toward
+  // (3 - beta)/2 = 0.8; exponential periods stay near 1/2.
+  EXPECT_GT(h_heavy, h_light + 0.15);
+  EXPECT_GT(h_heavy, 0.65);
+  EXPECT_LT(h_light, 0.62);
+}
+
+TEST(OnOff, SingleAlwaysOnSourceIsConstantRate) {
+  rng::Rng rng(3);
+  // ON periods enormous, OFF negligible: the fluid deposit should give
+  // ~rate*bin in every bin.
+  const dist::Exponential on(1e7), off(1e-6);
+  OnOffConfig cfg;
+  cfg.n_sources = 1;
+  cfg.rate_on = 2.0;
+  cfg.randomize_phase = false;
+  const auto counts = onoff_aggregate_counts(rng, on, off, 1000, cfg);
+  for (double c : counts) EXPECT_NEAR(c, 2.0, 0.1);
+}
+
+TEST(OnOff, Validation) {
+  rng::Rng rng(4);
+  const dist::Exponential d(1.0);
+  OnOffConfig cfg;
+  cfg.n_sources = 0;
+  EXPECT_THROW(onoff_aggregate_counts(rng, d, d, 10, cfg),
+               std::invalid_argument);
+}
+
+// -------------------------------------------------- Pareto renewal (App C)
+
+TEST(ParetoRenewal, CountsConserveArrivals) {
+  rng::Rng rng(5);
+  ParetoRenewalConfig cfg;
+  cfg.location = 1.0;
+  cfg.shape = 2.0;  // finite mean = 2
+  cfg.bin_width = 10.0;
+  const auto counts = pareto_renewal_counts(rng, 5000, cfg);
+  double total = 0.0;
+  for (double c : counts) total += c;
+  // Horizon 50000, mean gap 2 -> ~25000 arrivals.
+  EXPECT_NEAR(total, 25000.0, 2000.0);
+}
+
+TEST(ParetoRenewal, Beta1BurstsGrowOnlyLogarithmically) {
+  // Appendix C's headline: for beta = 1 the mean burst length (in bins)
+  // grows ~log b — increasing b by 10^4 only multiplies burst length by
+  // a small factor (paper observed 2.6x from 10^3 to 10^7).
+  rng::Rng rng(6);
+  // 1e7-wide bins mean ~4e5 arrivals *per bin*; keep the bin count small
+  // so the test stays fast (the fast beta=1 sampling path does the rest).
+  const std::vector<double> widths = {1e3, 1e7};
+  const auto scaling = burst_lull_scaling(rng, widths, 1200, 1.0, 1.0);
+  ASSERT_EQ(scaling.mean_burst_bins.size(), 2u);
+  const double growth =
+      scaling.mean_burst_bins[1] / scaling.mean_burst_bins[0];
+  EXPECT_GT(growth, 1.1);
+  EXPECT_LT(growth, 6.0);
+}
+
+TEST(ParetoRenewal, Beta1LullDistributionInvariant) {
+  // "the distribution of L_b is invariant with respect to b": the mean
+  // lull length in bins barely moves across four decades of bin width
+  // (paper observed a factor of 1.2).
+  rng::Rng rng(7);
+  const std::vector<double> widths = {1e3, 1e7};
+  const auto scaling = burst_lull_scaling(rng, widths, 1200, 1.0, 1.0);
+  const double ratio =
+      scaling.median_lull_bins[1] /
+      std::max(scaling.median_lull_bins[0], 1e-12);
+  EXPECT_GT(ratio, 0.4);
+  EXPECT_LT(ratio, 2.5);
+}
+
+TEST(ParetoRenewal, Beta2BurstsGrowLinearly) {
+  // For beta = 2 aggregation smooths the process: burst length scales
+  // roughly like b itself.
+  rng::Rng rng(8);
+  const std::vector<double> widths = {10.0, 1000.0};
+  const auto scaling = burst_lull_scaling(rng, widths, 50000, 1.0, 2.0);
+  const double growth =
+      scaling.mean_burst_bins[1] / scaling.mean_burst_bins[0];
+  EXPECT_GT(growth, 20.0);  // linear growth would give 100
+}
+
+TEST(ParetoRenewal, BetaHalfBurstsConstant) {
+  rng::Rng rng(9);
+  const std::vector<double> widths = {1e3, 1e7};
+  const auto scaling = burst_lull_scaling(rng, widths, 20000, 1.0, 0.5);
+  const double growth =
+      scaling.mean_burst_bins[1] /
+      std::max(scaling.mean_burst_bins[0], 1e-12);
+  EXPECT_GT(growth, 0.5);
+  EXPECT_LT(growth, 2.0);
+}
+
+TEST(ParetoRenewal, PaperApproximationRegimes) {
+  EXPECT_NEAR(paper_burst_bins_approx(2.0, 100.0, 1.0), 100.0, 1e-9);
+  EXPECT_NEAR(paper_burst_bins_approx(1.0, 100.0, 1.0), std::log(100.0),
+              1e-9);
+  // beta = 1/2: constant in b.
+  EXPECT_DOUBLE_EQ(paper_burst_bins_approx(0.5, 1e3, 1.0),
+                   paper_burst_bins_approx(0.5, 1e7, 1.0));
+}
+
+TEST(ParetoRenewal, Validation) {
+  rng::Rng rng(10);
+  ParetoRenewalConfig cfg;
+  cfg.bin_width = 0.0;
+  EXPECT_THROW(pareto_renewal_counts(rng, 10, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wan::selfsim

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/dist/lognormal.hpp"
+#include "src/dist/pareto.hpp"
+#include "src/rng/rng.hpp"
+#include "src/stats/poisson_test.hpp"
+#include "src/synth/arrivals.hpp"
+
+namespace wan::stats {
+namespace {
+
+std::vector<double> homogeneous_poisson(rng::Rng& rng, double rate,
+                                        double t1) {
+  std::vector<double> t;
+  double now = 0.0;
+  while (true) {
+    now += -std::log(rng.uniform01_open_below()) / rate;
+    if (now >= t1) break;
+    t.push_back(now);
+  }
+  return t;
+}
+
+TEST(PoissonTest, TruePoissonIsConsistent) {
+  rng::Rng rng(1);
+  // 12 "hours" at 120 arrivals/hour.
+  const auto times = homogeneous_poisson(rng, 120.0 / 3600.0, 12 * 3600.0);
+  PoissonTestConfig cfg;
+  cfg.interval_length = 3600.0;
+  const auto r = test_poisson_arrivals(times, cfg, 0.0, 12 * 3600.0);
+  EXPECT_EQ(r.n_intervals, 12u);
+  EXPECT_TRUE(r.poisson) << to_string(r);
+  EXPECT_EQ(r.lag1_sign_bias, 0);
+  EXPECT_GT(r.frac_pass_exponential, 0.7);
+  EXPECT_GT(r.frac_pass_independence, 0.7);
+}
+
+TEST(PoissonTest, HourlyVaryingPoissonStillConsistentPerHour) {
+  // The paper's actual model: rate fixed within each hour, varying
+  // across hours. Interval-length = 1 h should accept it.
+  rng::Rng rng(2);
+  const synth::DiurnalProfile profile = synth::DiurnalProfile::telnet();
+  const auto times = synth::poisson_arrivals_hourly(rng, profile, 4000.0,
+                                                    8.0 * 3600.0,
+                                                    20.0 * 3600.0);
+  PoissonTestConfig cfg;
+  cfg.interval_length = 3600.0;
+  const auto r =
+      test_poisson_arrivals(times, cfg, 8.0 * 3600.0, 20.0 * 3600.0);
+  EXPECT_GE(r.n_intervals, 10u);
+  EXPECT_TRUE(r.poisson) << to_string(r);
+}
+
+TEST(PoissonTest, HeavyTailedRenewalRejected) {
+  rng::Rng rng(3);
+  const dist::Pareto gap(2.0, 0.9);
+  std::vector<double> times;
+  double t = 0.0;
+  while (times.size() < 4000) {
+    t += gap.sample(rng);
+    times.push_back(t);
+  }
+  PoissonTestConfig cfg;
+  cfg.interval_length = 3600.0;
+  const auto r = test_poisson_arrivals(times, cfg);
+  ASSERT_GT(r.n_intervals, 3u);
+  EXPECT_FALSE(r.consistent_exponential) << to_string(r);
+}
+
+TEST(PoissonTest, BatchedArrivalsRejected) {
+  // Mailing-list-explosion structure: Poisson triggers, each followed by
+  // a tight batch. Interarrivals alternate long-short-short..., which
+  // fails the exponentiality test decisively.
+  rng::Rng rng(4);
+  std::vector<double> times;
+  double t = 0.0;
+  while (times.size() < 6000) {
+    t += -std::log(rng.uniform01_open_below()) * 60.0;  // trigger gap
+    double bt = t;
+    const int batch = 1 + static_cast<int>(rng.uniform_int(8));
+    for (int i = 0; i < batch; ++i) {
+      times.push_back(bt);
+      bt += rng.uniform(0.2, 1.2);
+    }
+    t = bt;
+  }
+  PoissonTestConfig cfg;
+  cfg.interval_length = 600.0;
+  const auto r = test_poisson_arrivals(times, cfg);
+  ASSERT_GT(r.n_intervals, 10u);
+  EXPECT_FALSE(r.poisson) << to_string(r);
+}
+
+TEST(PoissonTest, RateModulatedArrivalsShowPositiveCorrelation) {
+  // Doubly-stochastic arrivals whose rate drifts slowly (relative to the
+  // interarrival scale) give *consecutive gaps of similar size* — the
+  // positive lag-1 correlation the paper flags with "+" for SMTP.
+  rng::Rng rng(5);
+  std::vector<double> times;
+  double t = 0.0;
+  double z = 0.0;  // AR(1) log-rate deviation, updated per arrival
+  while (times.size() < 8000) {
+    z = 0.95 * z + 0.35 * (rng.uniform01() - 0.5) * 2.0;
+    const double rate = 0.2 * std::exp(z);
+    t += -std::log(rng.uniform01_open_below()) / rate;
+    times.push_back(t);
+  }
+  PoissonTestConfig cfg;
+  cfg.interval_length = 600.0;
+  const auto r = test_poisson_arrivals(times, cfg);
+  ASSERT_GT(r.n_intervals, 10u);
+  EXPECT_FALSE(r.poisson) << to_string(r);
+  EXPECT_EQ(r.lag1_sign_bias, +1) << to_string(r);
+}
+
+TEST(PoissonTest, TenMinuteIntervalsAreMoreForgiving) {
+  // A rate that drifts within the hour: 1 h intervals see a rate change,
+  // 10 min intervals mostly do not.
+  rng::Rng rng(5);
+  std::vector<double> times;
+  for (int hour = 0; hour < 12; ++hour) {
+    for (int half = 0; half < 2; ++half) {
+      const double rate = (half == 0 ? 40.0 : 160.0) / 1800.0;
+      const double start = hour * 3600.0 + half * 1800.0;
+      double t = start;
+      while (true) {
+        t += -std::log(rng.uniform01_open_below()) / rate;
+        if (t >= start + 1800.0) break;
+        times.push_back(t);
+      }
+    }
+  }
+  PoissonTestConfig hourly;
+  hourly.interval_length = 3600.0;
+  PoissonTestConfig tenmin;
+  tenmin.interval_length = 600.0;
+  const auto r_h = test_poisson_arrivals(times, hourly, 0.0, 12 * 3600.0);
+  const auto r_m = test_poisson_arrivals(times, tenmin, 0.0, 12 * 3600.0);
+  EXPECT_GT(r_m.frac_pass_exponential, r_h.frac_pass_exponential);
+}
+
+TEST(PoissonTest, SparseIntervalsAreSkipped) {
+  const std::vector<double> times = {10.0, 20.0, 5000.0};
+  PoissonTestConfig cfg;
+  cfg.interval_length = 3600.0;
+  const auto r = test_poisson_arrivals(times, cfg, 0.0, 7200.0);
+  EXPECT_EQ(r.n_intervals, 0u);
+  EXPECT_FALSE(r.poisson);
+}
+
+TEST(PoissonTest, EmptyInputIsHarmless) {
+  const auto r = test_poisson_arrivals({});
+  EXPECT_EQ(r.n_intervals, 0u);
+}
+
+TEST(PoissonTest, IntervalOutcomesExposeDiagnostics) {
+  rng::Rng rng(6);
+  const auto times = homogeneous_poisson(rng, 0.1, 7200.0);
+  PoissonTestConfig cfg;
+  cfg.interval_length = 3600.0;
+  const auto r = test_poisson_arrivals(times, cfg, 0.0, 7200.0);
+  ASSERT_EQ(r.intervals.size(), 2u);
+  for (const auto& oc : r.intervals) {
+    EXPECT_TRUE(oc.tested);
+    EXPECT_GT(oc.n_interarrivals, 100u);
+    EXPECT_GT(oc.a2_modified, 0.0);
+  }
+}
+
+TEST(PoissonTest, ConfigValidation) {
+  PoissonTestConfig cfg;
+  cfg.interval_length = 0.0;
+  EXPECT_THROW(test_poisson_arrivals(std::vector<double>{1.0, 2.0}, cfg),
+               std::invalid_argument);
+}
+
+TEST(PoissonTest, ToStringMentionsVerdict) {
+  rng::Rng rng(7);
+  const auto times = homogeneous_poisson(rng, 0.05, 10 * 3600.0);
+  const auto r = test_poisson_arrivals(times);
+  const auto s = to_string(r);
+  EXPECT_NE(s.find("exp"), std::string::npos);
+  EXPECT_NE(s.find("indep"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wan::stats

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/fft/periodogram.hpp"
+#include "src/rng/rng.hpp"
+#include "src/selfsim/fgn.hpp"
+#include "src/stats/beran.hpp"
+#include "src/stats/whittle.hpp"
+
+namespace wan::stats {
+namespace {
+
+TEST(FgnSpectralDensity, PositiveAndFiniteAcrossDomain) {
+  for (double h : {0.51, 0.7, 0.9, 0.99}) {
+    for (double l = 0.001; l <= M_PI; l += 0.2) {
+      const double f = fgn_spectral_density(l, h);
+      EXPECT_TRUE(std::isfinite(f)) << "H=" << h << " l=" << l;
+      EXPECT_GT(f, 0.0);
+    }
+  }
+}
+
+TEST(FgnSpectralDensity, IntegratesToVariance) {
+  // Integral over (-pi, pi) of f equals gamma(0) = 1; by symmetry,
+  // 2 * Integral_0^pi f = 1. The density has an integrable singularity
+  // ~ l^{1-2H} at 0, so integrate on a geometric grid that resolves it.
+  for (double h : {0.5, 0.7, 0.9}) {
+    double integral = 0.0;
+    double lo = 1e-12;
+    while (lo < M_PI) {
+      const double hi = std::min(lo * 1.02, M_PI);
+      integral += 0.5 *
+                  (fgn_spectral_density(lo, h) + fgn_spectral_density(hi, h)) *
+                  (hi - lo);
+      lo = hi;
+    }
+    EXPECT_NEAR(2.0 * integral, 1.0, 0.02) << "H=" << h;
+  }
+}
+
+TEST(FgnSpectralDensity, DivergesAtOriginForLongMemory) {
+  // f(l) ~ l^{1-2H} as l -> 0: grows without bound for H > 1/2. From
+  // l = 0.1 to l = 1e-4 that is a factor (1e3)^{0.6} ~ 63.
+  EXPECT_GT(fgn_spectral_density(1e-4, 0.8),
+            40.0 * fgn_spectral_density(0.1, 0.8));
+  EXPECT_NEAR(fgn_spectral_density(1e-4, 0.8) /
+                  fgn_spectral_density(1e-3, 0.8),
+              std::pow(10.0, 0.6), 1.0);
+  // For H = 1/2 (white noise) the density is flat = 1/(2 pi).
+  EXPECT_NEAR(fgn_spectral_density(0.5, 0.5), 1.0 / (2.0 * M_PI), 1e-6);
+  EXPECT_NEAR(fgn_spectral_density(2.5, 0.5), 1.0 / (2.0 * M_PI), 1e-6);
+}
+
+TEST(FgnSpectralDensity, RejectsBadArgs) {
+  EXPECT_THROW(fgn_spectral_density(0.0, 0.7), std::invalid_argument);
+  EXPECT_THROW(fgn_spectral_density(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(fgn_spectral_density(4.0, 0.7), std::invalid_argument);
+}
+
+class WhittleSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(WhittleSweep, RecoversHurstOfExactFgn) {
+  const double h = GetParam();
+  rng::Rng rng(7 + static_cast<std::uint64_t>(h * 1000));
+  const auto x = selfsim::generate_fgn(rng, 8192, h);
+  const auto r = whittle_fgn(x);
+  EXPECT_NEAR(r.hurst, h, 0.04) << "H=" << h;
+  EXPECT_GT(r.stderr_hurst, 0.0);
+  EXPECT_LT(r.stderr_hurst, 0.05);
+  // 95% CI should usually cover; allow the tolerance band to absorb the
+  // occasional miss by checking a widened interval.
+  EXPECT_GT(h, r.ci_low - 0.05);
+  EXPECT_LT(h, r.ci_high + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(HurstValues, WhittleSweep,
+                         ::testing::Values(0.55, 0.65, 0.75, 0.85, 0.95));
+
+TEST(Whittle, WhiteNoiseGivesHalf) {
+  rng::Rng rng(11);
+  std::vector<double> x(4096);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  const auto r = whittle_fgn(x);
+  EXPECT_NEAR(r.hurst, 0.5, 0.05);
+}
+
+TEST(Whittle, ScaleRecoversInnovationVariance) {
+  rng::Rng rng(13);
+  const double sigma = 3.0;
+  const auto x = selfsim::generate_fgn(rng, 8192, 0.7, sigma);
+  const auto r = whittle_fgn(x);
+  // `scale` multiplies the unit-variance spectral density, so it
+  // estimates sigma^2.
+  EXPECT_NEAR(r.scale, sigma * sigma, 0.15 * sigma * sigma);
+}
+
+TEST(Whittle, RejectsTinySeries) {
+  EXPECT_THROW(whittle_fgn(std::vector<double>(8, 1.0)), std::exception);
+}
+
+// ------------------------------------------------------------- Beran
+
+TEST(Beran, ExactFgnIsConsistent) {
+  rng::Rng rng(17);
+  int consistent = 0;
+  for (int rep = 0; rep < 10; ++rep) {
+    const auto x = selfsim::generate_fgn(rng, 4096, 0.8);
+    consistent += beran_fgn_test(x).consistent ? 1 : 0;
+  }
+  EXPECT_GE(consistent, 8);  // ~95% acceptance expected
+}
+
+TEST(Beran, WhiteNoiseIsConsistentToo) {
+  // White noise IS fGn with H = 1/2, so the test should accept.
+  rng::Rng rng(19);
+  std::vector<double> x(4096);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  EXPECT_TRUE(beran_fgn_test(x).consistent);
+}
+
+TEST(Beran, StrongPeriodicityRejected) {
+  // A strong sinusoid concentrates periodogram mass at one frequency —
+  // nothing like an fGn spectrum; Beran's statistic should blow up.
+  rng::Rng rng(23);
+  std::vector<double> x(4096);
+  for (std::size_t t = 0; t < x.size(); ++t) {
+    x[t] = 5.0 * std::sin(2.0 * M_PI * 0.05 * static_cast<double>(t)) +
+           rng.uniform(-0.5, 0.5);
+  }
+  const auto r = beran_fgn_test(x);
+  EXPECT_FALSE(r.consistent);
+  EXPECT_GT(std::abs(r.z), 2.0);
+}
+
+TEST(Beran, ReportsUnderlyingWhittleFit) {
+  rng::Rng rng(29);
+  const auto x = selfsim::generate_fgn(rng, 4096, 0.75);
+  const auto r = beran_fgn_test(x);
+  EXPECT_NEAR(r.whittle.hurst, 0.75, 0.06);
+  EXPECT_GE(r.p_value, 0.0);
+  EXPECT_LE(r.p_value, 1.0);
+}
+
+}  // namespace
+}  // namespace wan::stats

@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "src/dist/exponential.hpp"
+#include "src/dist/pareto.hpp"
+#include "src/rng/rng.hpp"
+#include "src/synth/arrivals.hpp"
+#include "src/synth/diurnal.hpp"
+#include "src/synth/host_model.hpp"
+
+namespace wan::synth {
+namespace {
+
+// -------------------------------------------------------------- diurnal
+
+TEST(Diurnal, WeightsNormalized) {
+  for (const auto& profile :
+       {DiurnalProfile::telnet(), DiurnalProfile::ftp(),
+        DiurnalProfile::nntp(), DiurnalProfile::smtp_west(),
+        DiurnalProfile::smtp_east(), DiurnalProfile::www(),
+        DiurnalProfile::flat()}) {
+    double total = 0.0;
+    for (std::size_t h = 0; h < 24; ++h) total += profile.weight(h);
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(Diurnal, TelnetShapeMatchesFig1) {
+  const auto p = DiurnalProfile::telnet();
+  // Office hours dominate the small hours.
+  EXPECT_GT(p.weight(10), 4.0 * p.weight(3));
+  // Lunch dip: noon below 11 AM and 2 PM.
+  EXPECT_LT(p.weight(12), p.weight(11));
+  EXPECT_LT(p.weight(12), p.weight(14));
+}
+
+TEST(Diurnal, FtpHasEveningRenewal) {
+  const auto ftp = DiurnalProfile::ftp();
+  const auto tel = DiurnalProfile::telnet();
+  // Evening share relative to afternoon is larger for FTP.
+  const double ftp_ratio = ftp.weight(20) / ftp.weight(14);
+  const double tel_ratio = tel.weight(20) / tel.weight(14);
+  EXPECT_GT(ftp_ratio, tel_ratio);
+}
+
+TEST(Diurnal, NntpNearlyFlat) {
+  const auto p = DiurnalProfile::nntp();
+  double lo = 1.0, hi = 0.0;
+  for (std::size_t h = 0; h < 24; ++h) {
+    lo = std::min(lo, p.weight(h));
+    hi = std::max(hi, p.weight(h));
+  }
+  EXPECT_LT(hi / lo, 1.6);
+}
+
+TEST(Diurnal, SmtpEastVsWestBias) {
+  const auto west = DiurnalProfile::smtp_west();
+  const auto east = DiurnalProfile::smtp_east();
+  // Morning (9) heavier at the west site; afternoon (15) at the east.
+  EXPECT_GT(west.weight(9), east.weight(9));
+  EXPECT_GT(east.weight(15), west.weight(15));
+}
+
+TEST(Diurnal, RateAtIntegratesToDailyVolume) {
+  const auto p = DiurnalProfile::telnet();
+  double total = 0.0;
+  for (std::size_t h = 0; h < 24; ++h)
+    total += p.rate_at(h * 3600.0 + 1.0, 2400.0) * 3600.0;
+  EXPECT_NEAR(total, 2400.0, 1e-9);
+}
+
+TEST(Diurnal, RateWrapsAcrossDays) {
+  const auto p = DiurnalProfile::telnet();
+  EXPECT_DOUBLE_EQ(p.rate_at(10.0 * 3600.0, 100.0),
+                   p.rate_at((24.0 + 10.0) * 3600.0, 100.0));
+}
+
+TEST(Diurnal, RejectsBadWeights) {
+  std::array<double, 24> w{};
+  EXPECT_THROW(DiurnalProfile{w}, std::invalid_argument);
+  w.fill(1.0);
+  w[3] = -0.1;
+  EXPECT_THROW(DiurnalProfile{w}, std::invalid_argument);
+}
+
+// ------------------------------------------------------------- arrivals
+
+TEST(Arrivals, PoissonCountMatchesRate) {
+  rng::Rng rng(1);
+  const auto t = poisson_arrivals(rng, 2.0, 0.0, 10000.0);
+  EXPECT_NEAR(static_cast<double>(t.size()), 20000.0, 600.0);
+  for (std::size_t i = 1; i < t.size(); ++i) EXPECT_GT(t[i], t[i - 1]);
+  EXPECT_GE(t.front(), 0.0);
+  EXPECT_LT(t.back(), 10000.0);
+}
+
+TEST(Arrivals, ZeroRateGivesNothing) {
+  rng::Rng rng(2);
+  EXPECT_TRUE(poisson_arrivals(rng, 0.0, 0.0, 100.0).empty());
+}
+
+TEST(Arrivals, HourlyPoissonFollowsProfile) {
+  rng::Rng rng(3);
+  const auto profile = DiurnalProfile::telnet();
+  const auto t =
+      poisson_arrivals_hourly(rng, profile, 240000.0, 0.0, 86400.0);
+  // Count per hour should be close to per_day * weight(h).
+  std::array<double, 24> counts{};
+  for (double v : t) ++counts[static_cast<std::size_t>(v / 3600.0) % 24];
+  for (std::size_t h = 0; h < 24; ++h) {
+    const double expect = 240000.0 * profile.weight(h);
+    EXPECT_NEAR(counts[h], expect, 6.0 * std::sqrt(expect) + 5.0)
+        << "hour " << h;
+  }
+}
+
+TEST(Arrivals, HourlyPoissonRespectsWindow) {
+  rng::Rng rng(4);
+  const auto t = poisson_arrivals_hourly(rng, DiurnalProfile::flat(),
+                                         24000.0, 1800.0, 5400.0);
+  EXPECT_NEAR(static_cast<double>(t.size()), 1000.0, 150.0);
+  EXPECT_GE(t.front(), 1800.0);
+  EXPECT_LT(t.back(), 5400.0);
+}
+
+TEST(Arrivals, RenewalBoundedByTimeAndCount) {
+  rng::Rng rng(5);
+  const dist::Exponential gap(1.0);
+  const auto t1 = renewal_arrivals(rng, gap, 0.0, 100.0);
+  EXPECT_LT(t1.back(), 100.0);
+  const auto t2 = renewal_arrivals(rng, gap, 0.0, 1e9, 50);
+  EXPECT_EQ(t2.size(), 50u);
+}
+
+TEST(Arrivals, RenewalCountStartsAtT0) {
+  rng::Rng rng(6);
+  const dist::Pareto gap(0.1, 0.9);
+  const auto t = renewal_arrivals_count(rng, gap, 42.0, 10);
+  ASSERT_EQ(t.size(), 10u);
+  EXPECT_DOUBLE_EQ(t.front(), 42.0);
+  for (std::size_t i = 1; i < t.size(); ++i) EXPECT_GT(t[i], t[i - 1]);
+}
+
+TEST(Arrivals, UniformArrivalsSortedInWindow) {
+  rng::Rng rng(7);
+  const auto t = uniform_arrivals(rng, 10.0, 20.0, 1000);
+  ASSERT_EQ(t.size(), 1000u);
+  for (std::size_t i = 1; i < t.size(); ++i) EXPECT_GE(t[i], t[i - 1]);
+  EXPECT_GE(t.front(), 10.0);
+  EXPECT_LT(t.back(), 20.0);
+}
+
+TEST(Arrivals, InvalidWindowsRejected) {
+  rng::Rng rng(8);
+  const dist::Exponential gap(1.0);
+  EXPECT_THROW(poisson_arrivals(rng, 1.0, 10.0, 5.0), std::invalid_argument);
+  EXPECT_THROW(uniform_arrivals(rng, 10.0, 10.0, 5), std::invalid_argument);
+  EXPECT_THROW(renewal_arrivals(rng, gap, 10.0, 5.0), std::invalid_argument);
+}
+
+// ----------------------------------------------------------- host model
+
+TEST(HostModel, LocalUniformRemoteZipf) {
+  HostModel hosts(10, 100, 1.0);
+  rng::Rng rng(9);
+  std::array<int, 10> local_counts{};
+  int first_remote = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    ++local_counts[hosts.sample_local(rng)];
+    const auto r = hosts.sample_remote(rng);
+    EXPECT_GE(r, 10u);
+    EXPECT_LT(r, 110u);
+    if (r == 10u) ++first_remote;
+  }
+  for (int c : local_counts) EXPECT_NEAR(c, n / 10.0, 400.0);
+  // Zipf(1) over 100: P(rank 1) = 1/H_100 ~ 0.193.
+  EXPECT_NEAR(first_remote / static_cast<double>(n), 0.193, 0.02);
+}
+
+TEST(HostModel, RejectsEmptyPools) {
+  EXPECT_THROW(HostModel(0, 5), std::invalid_argument);
+  EXPECT_THROW(HostModel(5, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace wan::synth

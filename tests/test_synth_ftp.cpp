@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "src/rng/rng.hpp"
+#include "src/stats/anderson_darling.hpp"
+#include "src/stats/descriptive.hpp"
+#include "src/stats/poisson_test.hpp"
+#include "src/stats/tail_fit.hpp"
+#include "src/synth/ftp_source.hpp"
+#include "src/trace/burst.hpp"
+
+namespace wan::synth {
+namespace {
+
+FtpConfig flat_ftp(double per_day = 6000.0) {
+  FtpConfig c;
+  c.profile = DiurnalProfile::flat();
+  c.sessions_per_day = per_day;
+  return c;
+}
+
+trace::ConnTrace generate(double per_day, double hours, std::uint64_t seed) {
+  const FtpSource src(flat_ftp(per_day));
+  const HostModel hosts(50, 500);
+  rng::Rng rng(seed);
+  trace::ConnTrace out("ftp", 0.0, hours * 3600.0);
+  std::uint64_t sid = 1;
+  src.generate(rng, 0.0, hours * 3600.0, hosts, &sid, out);
+  out.sort_by_start();
+  return out;
+}
+
+TEST(FtpSource, ProducesSessionsAndDataConnections) {
+  const auto t = generate(6000.0, 4.0, 1);
+  const auto sessions = t.arrival_times(trace::Protocol::kFtpCtrl);
+  const auto data = t.arrival_times(trace::Protocol::kFtpData);
+  // 6000/day = 250/h -> ~1000 sessions over 4 h.
+  EXPECT_NEAR(static_cast<double>(sessions.size()), 1000.0, 200.0);
+  EXPECT_GT(data.size(), sessions.size());  // >= 1 FTPDATA per session
+}
+
+TEST(FtpSource, EveryDataConnectionHasItsSessionId) {
+  const auto t = generate(2000.0, 1.0, 2);
+  std::set<std::uint64_t> session_ids;
+  for (const auto& r : t.records()) {
+    if (r.protocol == trace::Protocol::kFtpCtrl)
+      session_ids.insert(r.session_id);
+  }
+  for (const auto& r : t.records()) {
+    if (r.protocol == trace::Protocol::kFtpData) {
+      // Sessions whose control record fell past the window edge may be
+      // missing; the overwhelming majority must match.
+      if (!session_ids.contains(r.session_id)) continue;
+      EXPECT_TRUE(session_ids.contains(r.session_id));
+    }
+  }
+  EXPECT_GT(session_ids.size(), 10u);
+}
+
+TEST(FtpSource, SpacingDistributionIsBimodal) {
+  // Fig. 8: intra-burst spacings well below the 2-6 s inflection, think
+  // times well above.
+  const auto t = generate(6000.0, 6.0, 3);
+  const auto sp = trace::intra_session_spacings(t);
+  ASSERT_GT(sp.size(), 500u);
+  int below_2 = 0, above_10 = 0, in_gap = 0;
+  for (double s : sp) {
+    if (s < 2.0) ++below_2;
+    if (s > 10.0) ++above_10;
+    if (s >= 4.0 && s < 8.0) ++in_gap;
+  }
+  const double n = static_cast<double>(sp.size());
+  EXPECT_GT(below_2 / n, 0.3);    // mget-mode spacing
+  EXPECT_GT(above_10 / n, 0.05);  // human think times (minority mode:
+                                  // huge mget bursts dominate the count)
+  // The trough between modes is thinner than either mode.
+  EXPECT_LT(in_gap / n, below_2 / n);
+  EXPECT_LT(in_gap / n, above_10 / n);
+}
+
+TEST(FtpSource, BurstIdentificationMostlyRecoversGeneratedBursts) {
+  const auto t = generate(6000.0, 6.0, 4);
+  const auto bursts = trace::find_ftp_bursts(t, 4.0);
+  ASSERT_GT(bursts.size(), 300u);
+  // Mean connections per burst should exceed 1 (mget clusters) but stay
+  // well below the per-session connection count (think times split).
+  double conns = 0.0;
+  for (const auto& b : bursts) conns += static_cast<double>(b.n_connections);
+  const double mean_conns = conns / static_cast<double>(bursts.size());
+  EXPECT_GT(mean_conns, 1.1);
+  EXPECT_LT(mean_conns, 20.0);
+}
+
+TEST(FtpSource, BurstBytesAreSeverelyHeavyTailed) {
+  // Fig. 9: the top 0.5% of bursts carry 30-60% of all FTPDATA bytes.
+  const auto t = generate(12000.0, 12.0, 5);
+  const auto bursts = trace::find_ftp_bursts(t, 4.0);
+  ASSERT_GT(bursts.size(), 2000u);
+  const auto bytes = trace::burst_bytes(bursts);
+  const double share = stats::mass_in_top_fraction(bytes, 0.005);
+  EXPECT_GT(share, 0.2);
+  EXPECT_LT(share, 0.85);
+}
+
+TEST(FtpSource, BurstByteTailFitsParetoInPaperRange) {
+  const auto t = generate(12000.0, 12.0, 6);
+  const auto bytes = trace::burst_bytes(trace::find_ftp_bursts(t, 4.0));
+  const auto fit = stats::ccdf_tail_fit(bytes, 0.05);
+  // Section VI: 0.9 <= beta <= 1.4 (allow fitting slack).
+  EXPECT_GT(fit.beta, 0.7);
+  EXPECT_LT(fit.beta, 1.7);
+}
+
+TEST(FtpSource, SessionArrivalsPassPoissonDataConnectionsFail) {
+  // The headline Section III/VI contrast, generated mechanistically.
+  const auto t = generate(9000.0, 12.0, 7);
+  stats::PoissonTestConfig cfg;
+  cfg.interval_length = 3600.0;
+  const auto sessions = stats::test_poisson_arrivals(
+      t.arrival_times(trace::Protocol::kFtpCtrl), cfg, 0.0, 12 * 3600.0);
+  const auto data = stats::test_poisson_arrivals(
+      t.arrival_times(trace::Protocol::kFtpData), cfg, 0.0, 12 * 3600.0);
+  EXPECT_TRUE(sessions.poisson) << to_string(sessions);
+  EXPECT_FALSE(data.poisson) << to_string(data);
+}
+
+TEST(FtpSource, SamplersRespectCaps) {
+  const FtpSource src(flat_ftp());
+  rng::Rng rng(8);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LE(src.sample_bursts_per_session(rng), 60u);
+    EXPECT_GE(src.sample_bursts_per_session(rng), 1u);
+    EXPECT_LE(src.sample_conns_per_burst(rng), 1200u);
+    const double b = src.sample_burst_bytes(rng);
+    EXPECT_GE(b, 4096.0);
+    EXPECT_LE(b, 4.0e9);
+  }
+}
+
+TEST(FtpSource, HotEventsClusterTheHugestBursts) {
+  // Section VI: upper-tail burst arrivals are NOT Poisson. The hot-file
+  // mirror events bunch the largest bursts: with events on, the top
+  // bursts' arrival ranks fail the exponentiality test; with events off,
+  // they pass (independent users -> uniform ranks).
+  const auto verdict = [](double hot_rate, std::uint64_t seed) {
+    FtpConfig cfg = flat_ftp(9000.0);
+    cfg.hot_events_per_day = hot_rate;
+    const FtpSource src(cfg);
+    const HostModel hosts(50, 500);
+    rng::Rng rng(seed);
+    trace::ConnTrace out("ftp", 0.0, 24.0 * 3600.0);
+    std::uint64_t sid = 1;
+    src.generate(rng, 0.0, 24.0 * 3600.0, hosts, &sid, out);
+    out.sort_by_start();
+
+    const auto bursts = trace::find_ftp_bursts(out, 4.0);
+    std::vector<std::pair<double, double>> by_bytes;
+    for (std::size_t k = 0; k < bursts.size(); ++k)
+      by_bytes.push_back({static_cast<double>(bursts[k].bytes),
+                          static_cast<double>(k)});
+    std::sort(by_bytes.begin(), by_bytes.end(),
+              [](auto& a, auto& b) { return a.first > b.first; });
+    std::vector<double> ranks;
+    const std::size_t top = std::max<std::size_t>(
+        30, static_cast<std::size_t>(0.005 * double(by_bytes.size())));
+    for (std::size_t k = 0; k < top && k < by_bytes.size(); ++k)
+      ranks.push_back(by_bytes[k].second);
+    std::sort(ranks.begin(), ranks.end());
+    const auto gaps = stats::interarrivals(ranks);
+    return stats::ad_test_exponential(gaps, 0.05).pass;
+  };
+  EXPECT_FALSE(verdict(/*hot_rate=*/12.0, 41));  // clustered -> rejected
+  EXPECT_TRUE(verdict(/*hot_rate=*/0.0, 42));    // independent -> passes
+}
+
+TEST(FtpSource, HotSessionSamplerMeanAndFloor) {
+  FtpConfig cfg = flat_ftp();
+  cfg.hot_sessions_mean = 4.0;
+  const FtpSource src(cfg);
+  rng::Rng rng(43);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = src.sample_geometric_sessions(rng);
+    EXPECT_GE(v, 1u);
+    total += static_cast<double>(v);
+  }
+  EXPECT_NEAR(total / n, 4.0, 0.15);
+}
+
+TEST(FtpSource, ControlConnectionSpansItsBursts) {
+  const auto t = generate(2000.0, 2.0, 9);
+  std::map<std::uint64_t, std::pair<double, double>> ctrl;  // start,end
+  for (const auto& r : t.records()) {
+    if (r.protocol == trace::Protocol::kFtpCtrl)
+      ctrl[r.session_id] = {r.start, r.end()};
+  }
+  std::size_t checked = 0;
+  for (const auto& r : t.records()) {
+    if (r.protocol != trace::Protocol::kFtpData) continue;
+    const auto it = ctrl.find(r.session_id);
+    if (it == ctrl.end()) continue;
+    EXPECT_GE(r.start, it->second.first);
+    ++checked;
+  }
+  EXPECT_GT(checked, 100u);
+}
+
+}  // namespace
+}  // namespace wan::synth

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/rng/rng.hpp"
+#include "src/stats/descriptive.hpp"
+#include "src/stats/poisson_test.hpp"
+#include "src/synth/machine_sources.hpp"
+#include "src/synth/www_source.hpp"
+
+namespace wan::synth {
+namespace {
+
+constexpr double kDay = 86400.0;
+
+template <typename Source>
+trace::ConnTrace run_source(const Source& src, double hours,
+                            std::uint64_t seed) {
+  const HostModel hosts(50, 500);
+  rng::Rng rng(seed);
+  trace::ConnTrace out("t", 0.0, hours * 3600.0);
+  src.generate(rng, 0.0, hours * 3600.0, hosts, out);
+  out.sort_by_start();
+  return out;
+}
+
+// ------------------------------------------------------------ geometric
+
+TEST(Geometric, MeanMatches) {
+  rng::Rng rng(1);
+  double total = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    total += static_cast<double>(sample_geometric(rng, 5.0));
+  EXPECT_NEAR(total / n, 5.0, 0.15);
+  EXPECT_EQ(sample_geometric(rng, 1.0), 1u);
+  EXPECT_EQ(sample_geometric(rng, 0.5), 1u);
+}
+
+// ----------------------------------------------------------------- SMTP
+
+TEST(Smtp, DailyVolumeRoughlyHonored) {
+  SmtpConfig cfg;
+  cfg.profile = DiurnalProfile::flat();
+  cfg.conns_per_day = 12000.0;
+  const SmtpSource src(cfg);
+  const auto t = run_source(src, 6.0, 2);
+  // 12000/day * 6/24 = 3000 expected.
+  EXPECT_NEAR(static_cast<double>(t.size()), 3000.0, 500.0);
+}
+
+TEST(Smtp, MailArrivesFromRemoteHosts) {
+  SmtpConfig cfg;
+  cfg.profile = DiurnalProfile::flat();
+  const SmtpSource src(cfg);
+  const auto t = run_source(src, 2.0, 3);
+  for (const auto& r : t.records()) {
+    EXPECT_EQ(r.protocol, trace::Protocol::kSmtp);
+    EXPECT_GE(r.src_host, 50u);  // remote pool starts above local pool
+    EXPECT_LT(r.dst_host, 50u);
+  }
+}
+
+TEST(Smtp, BatchesMakeArrivalsNonPoisson) {
+  SmtpConfig cfg;
+  cfg.profile = DiurnalProfile::flat();
+  cfg.conns_per_day = 20000.0;
+  cfg.batch_fraction = 0.5;  // pronounced explosions
+  const SmtpSource src(cfg);
+  const auto t = run_source(src, 12.0, 4);
+  stats::PoissonTestConfig pc;
+  pc.interval_length = 3600.0;
+  const auto r = stats::test_poisson_arrivals(
+      t.arrival_times(trace::Protocol::kSmtp), pc, 0.0, 12.0 * 3600.0);
+  EXPECT_FALSE(r.consistent_exponential) << to_string(r);
+}
+
+TEST(Smtp, WithoutBatchesReducesToPoisson) {
+  SmtpConfig cfg;
+  cfg.profile = DiurnalProfile::flat();
+  cfg.conns_per_day = 15000.0;
+  cfg.batch_fraction = 0.0;
+  const SmtpSource src(cfg);
+  const auto t = run_source(src, 12.0, 5);
+  stats::PoissonTestConfig pc;
+  pc.interval_length = 3600.0;
+  const auto r = stats::test_poisson_arrivals(
+      t.arrival_times(trace::Protocol::kSmtp), pc, 0.0, 12.0 * 3600.0);
+  EXPECT_TRUE(r.poisson) << to_string(r);
+}
+
+// ----------------------------------------------------------------- NNTP
+
+TEST(Nntp, VolumeSplitBetweenTimersAndCascades) {
+  NntpConfig cfg;
+  cfg.profile = DiurnalProfile::flat();
+  cfg.conns_per_day = 12000.0;
+  const NntpSource src(cfg);
+  const auto t = run_source(src, 6.0, 6);
+  EXPECT_NEAR(static_cast<double>(t.size()), 3000.0, 600.0);
+}
+
+TEST(Nntp, DecisivelyNonPoisson) {
+  NntpConfig cfg;
+  cfg.profile = DiurnalProfile::flat();
+  cfg.conns_per_day = 10000.0;
+  const NntpSource src(cfg);
+  const auto t = run_source(src, 12.0, 7);
+  stats::PoissonTestConfig pc;
+  pc.interval_length = 3600.0;
+  const auto r = stats::test_poisson_arrivals(
+      t.arrival_times(trace::Protocol::kNntp), pc, 0.0, 12.0 * 3600.0);
+  EXPECT_FALSE(r.poisson) << to_string(r);
+}
+
+TEST(Nntp, TimerPeersProducePeriodicStructure) {
+  NntpConfig cfg;
+  cfg.profile = DiurnalProfile::flat();
+  cfg.conns_per_day = 0.0;  // timers only
+  cfg.n_peers = 3;
+  cfg.timer_period = 600.0;
+  cfg.timer_jitter = 5.0;
+  const NntpSource src(cfg);
+  const auto t = run_source(src, 4.0, 8);
+  // 3 peers * 24 periods = ~72 connections over 4 h.
+  EXPECT_NEAR(static_cast<double>(t.size()), 72.0, 8.0);
+  // Gaps concentrate near multiples of the period / peer offsets — far
+  // from exponential: the CV of gaps is well below 1.
+  const auto gaps =
+      stats::interarrivals(t.arrival_times(trace::Protocol::kNntp));
+  const double cv =
+      stats::stddev(gaps) / std::max(stats::mean(gaps), 1e-12);
+  EXPECT_LT(cv, 0.9);
+}
+
+// ------------------------------------------------------------------ WWW
+
+TEST(Www, SessionStructureProducesClusters) {
+  WwwConfig cfg;
+  cfg.profile = DiurnalProfile::flat();
+  cfg.sessions_per_day = 2000.0;
+  const WwwSource src(cfg);
+  const auto t = run_source(src, 12.0, 9);
+  EXPECT_GT(t.size(), 1000u);
+  stats::PoissonTestConfig pc;
+  pc.interval_length = 3600.0;
+  const auto r = stats::test_poisson_arrivals(
+      t.arrival_times(trace::Protocol::kWww), pc, 0.0, 12.0 * 3600.0);
+  EXPECT_FALSE(r.poisson) << to_string(r);
+}
+
+TEST(Www, RequestsSmallerThanResponses) {
+  WwwConfig cfg;
+  cfg.profile = DiurnalProfile::flat();
+  const WwwSource src(cfg);
+  const auto t = run_source(src, 6.0, 10);
+  double orig = 0.0, resp = 0.0;
+  for (const auto& r : t.records()) {
+    orig += static_cast<double>(r.bytes_orig);
+    resp += static_cast<double>(r.bytes_resp);
+  }
+  EXPECT_GT(resp, 3.0 * orig);
+}
+
+// ------------------------------------------------------------------ X11
+
+TEST(X11, ConnectionArrivalsNotPoissonThoughSessionsAre) {
+  // Section III's conjecture, realized: per-session connection spawning
+  // with heavy-tailed gaps breaks the Poisson structure.
+  X11Config cfg;
+  cfg.profile = DiurnalProfile::flat();
+  cfg.sessions_per_day = 4000.0;
+  const X11Source src(cfg);
+  const auto t = run_source(src, 12.0, 11);
+  stats::PoissonTestConfig pc;
+  pc.interval_length = 3600.0;
+  const auto r = stats::test_poisson_arrivals(
+      t.arrival_times(trace::Protocol::kX11), pc, 0.0, 12.0 * 3600.0);
+  EXPECT_FALSE(r.poisson) << to_string(r);
+}
+
+TEST(X11, SessionsShareHostPair) {
+  X11Config cfg;
+  cfg.profile = DiurnalProfile::flat();
+  cfg.sessions_per_day = 200.0;
+  const X11Source src(cfg);
+  const auto t = run_source(src, 4.0, 12);
+  EXPECT_GT(t.size(), 5u);
+  for (const auto& r : t.records())
+    EXPECT_EQ(r.protocol, trace::Protocol::kX11);
+}
+
+}  // namespace
+}  // namespace wan::synth

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/synth/synthesizer.hpp"
+
+namespace wan::synth {
+namespace {
+
+ConnDatasetConfig small_conn_config(std::uint64_t seed) {
+  ConnDatasetConfig c;
+  c.name = "TEST";
+  c.days = 0.25;  // 6 hours keeps the test quick
+  c.seed = seed;
+  return c;
+}
+
+TEST(Synthesizer, ConnTraceContainsEveryProtocolFamily) {
+  const auto t = synthesize_conn_trace(small_conn_config(1));
+  std::set<trace::Protocol> seen;
+  for (const auto& r : t.records()) seen.insert(r.protocol);
+  for (trace::Protocol p :
+       {trace::Protocol::kTelnet, trace::Protocol::kRlogin,
+        trace::Protocol::kFtpCtrl, trace::Protocol::kFtpData,
+        trace::Protocol::kSmtp, trace::Protocol::kNntp,
+        trace::Protocol::kWww, trace::Protocol::kX11}) {
+    EXPECT_TRUE(seen.contains(p)) << trace::to_string(p);
+  }
+}
+
+TEST(Synthesizer, ConnTraceSortedAndWindowed) {
+  const auto t = synthesize_conn_trace(small_conn_config(2));
+  double prev = -1.0;
+  for (const auto& r : t.records()) {
+    EXPECT_GE(r.start, prev);
+    EXPECT_GE(r.start, 0.0);
+    EXPECT_LT(r.start, 6.0 * 3600.0);
+    prev = r.start;
+  }
+}
+
+TEST(Synthesizer, DeterministicGivenSeed) {
+  const auto a = synthesize_conn_trace(small_conn_config(7));
+  const auto b = synthesize_conn_trace(small_conn_config(7));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.records()[i].start, b.records()[i].start);
+    EXPECT_EQ(a.records()[i].protocol, b.records()[i].protocol);
+  }
+  const auto c = synthesize_conn_trace(small_conn_config(8));
+  EXPECT_NE(a.size(), c.size());
+}
+
+TEST(Synthesizer, PacketTraceTcpOnlyExcludesUdp) {
+  PacketDatasetConfig cfg = lbl_pkt_preset("PKT-TEST", /*tcp_only=*/true, 3);
+  cfg.hours = 0.25;
+  const auto t = synthesize_packet_trace(cfg);
+  EXPECT_GT(t.size(), 100u);
+  for (const auto& r : t.records()) {
+    EXPECT_NE(r.protocol, trace::Protocol::kDns);
+    EXPECT_NE(r.protocol, trace::Protocol::kMbone);
+  }
+}
+
+TEST(Synthesizer, FullLinkTraceIncludesUdp) {
+  PacketDatasetConfig cfg = lbl_pkt_preset("PKT-ALL", /*tcp_only=*/false, 4);
+  cfg.hours = 0.5;
+  const auto t = synthesize_packet_trace(cfg);
+  std::set<trace::Protocol> seen;
+  for (const auto& r : t.records()) seen.insert(r.protocol);
+  EXPECT_TRUE(seen.contains(trace::Protocol::kDns));
+  EXPECT_TRUE(seen.contains(trace::Protocol::kTelnet));
+}
+
+TEST(Synthesizer, PacketTraceSortedAndClipped) {
+  PacketDatasetConfig cfg = lbl_pkt_preset("PKT", true, 5);
+  cfg.hours = 0.25;
+  const auto t = synthesize_packet_trace(cfg);
+  double prev = 0.0;
+  for (const auto& r : t.records()) {
+    EXPECT_GE(r.time, t.t_begin());
+    EXPECT_LT(r.time, t.t_end());
+    EXPECT_GE(r.time, prev);
+    prev = r.time;
+  }
+}
+
+TEST(Synthesizer, VolumeScaleScalesPackets) {
+  PacketDatasetConfig lo = lbl_pkt_preset("LO", true, 6);
+  lo.hours = 0.25;
+  PacketDatasetConfig hi = lo;
+  hi.volume_scale = 3.0;
+  const auto tl = synthesize_packet_trace(lo);
+  const auto th = synthesize_packet_trace(hi);
+  EXPECT_GT(th.size(), 2.0 * static_cast<double>(tl.size()));
+}
+
+TEST(Synthesizer, SmallSitePresetIsSmaller) {
+  const auto big = lbl_conn_preset("LBL", 0.25, 9);
+  const auto small = small_site_conn_preset("BC", 0.25, 9);
+  const auto tb = synthesize_conn_trace(big);
+  const auto ts = synthesize_conn_trace(small);
+  EXPECT_GT(tb.size(), 2 * ts.size());
+}
+
+TEST(Synthesizer, DecWrlPresetHotterThanLbl) {
+  auto lbl = lbl_pkt_preset("LBL-PKT", false, 10);
+  lbl.hours = 0.2;
+  auto dec = dec_wrl_pkt_preset("DEC-WRL", 10);
+  dec.hours = 0.2;
+  const auto tl = synthesize_packet_trace(lbl);
+  const auto td = synthesize_packet_trace(dec);
+  EXPECT_GT(td.size(), tl.size());
+}
+
+TEST(Synthesizer, TelnetConnectionCountNearPaperTarget) {
+  // LBL PKT-2 had 273 TELNET connections in a 2 PM - 4 PM window.
+  PacketDatasetConfig cfg = lbl_pkt_preset("PKT-2", true, 11);
+  const auto t = synthesize_packet_trace(cfg);
+  const auto telnet = t.filter(trace::Protocol::kTelnet);
+  const std::size_t conns = telnet.connection_count();
+  EXPECT_GT(conns, 150u);
+  EXPECT_LT(conns, 450u);
+}
+
+}  // namespace
+}  // namespace wan::synth
