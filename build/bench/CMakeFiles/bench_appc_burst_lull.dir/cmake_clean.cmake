@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appc_burst_lull.dir/bench_appc_burst_lull.cpp.o"
+  "CMakeFiles/bench_appc_burst_lull.dir/bench_appc_burst_lull.cpp.o.d"
+  "bench_appc_burst_lull"
+  "bench_appc_burst_lull.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appc_burst_lull.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

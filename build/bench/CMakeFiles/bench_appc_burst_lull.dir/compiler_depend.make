@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_appc_burst_lull.
+# This may be replaced when dependencies are built.

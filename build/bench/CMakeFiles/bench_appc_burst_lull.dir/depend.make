@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_appc_burst_lull.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appd_mginf.dir/bench_appd_mginf.cpp.o"
+  "CMakeFiles/bench_appd_mginf.dir/bench_appd_mginf.cpp.o.d"
+  "bench_appd_mginf"
+  "bench_appd_mginf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appd_mginf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

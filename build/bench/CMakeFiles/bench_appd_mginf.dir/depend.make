@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_appd_mginf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_11_burst_dominance.dir/bench_fig10_11_burst_dominance.cpp.o"
+  "CMakeFiles/bench_fig10_11_burst_dominance.dir/bench_fig10_11_burst_dominance.cpp.o.d"
+  "bench_fig10_11_burst_dominance"
+  "bench_fig10_11_burst_dominance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_11_burst_dominance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

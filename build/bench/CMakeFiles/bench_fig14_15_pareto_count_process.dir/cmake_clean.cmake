@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_15_pareto_count_process.dir/bench_fig14_15_pareto_count_process.cpp.o"
+  "CMakeFiles/bench_fig14_15_pareto_count_process.dir/bench_fig14_15_pareto_count_process.cpp.o.d"
+  "bench_fig14_15_pareto_count_process"
+  "bench_fig14_15_pareto_count_process.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_15_pareto_count_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_hourly_rates.dir/bench_fig1_hourly_rates.cpp.o"
+  "CMakeFiles/bench_fig1_hourly_rates.dir/bench_fig1_hourly_rates.cpp.o.d"
+  "bench_fig1_hourly_rates"
+  "bench_fig1_hourly_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_hourly_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

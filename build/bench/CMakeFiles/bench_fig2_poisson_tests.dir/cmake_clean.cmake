@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_poisson_tests.dir/bench_fig2_poisson_tests.cpp.o"
+  "CMakeFiles/bench_fig2_poisson_tests.dir/bench_fig2_poisson_tests.cpp.o.d"
+  "bench_fig2_poisson_tests"
+  "bench_fig2_poisson_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_poisson_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

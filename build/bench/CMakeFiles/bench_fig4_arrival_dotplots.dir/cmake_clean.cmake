@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_arrival_dotplots.dir/bench_fig4_arrival_dotplots.cpp.o"
+  "CMakeFiles/bench_fig4_arrival_dotplots.dir/bench_fig4_arrival_dotplots.cpp.o.d"
+  "bench_fig4_arrival_dotplots"
+  "bench_fig4_arrival_dotplots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_arrival_dotplots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_vtp_telnet.dir/bench_fig5_vtp_telnet.cpp.o"
+  "CMakeFiles/bench_fig5_vtp_telnet.dir/bench_fig5_vtp_telnet.cpp.o.d"
+  "bench_fig5_vtp_telnet"
+  "bench_fig5_vtp_telnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_vtp_telnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

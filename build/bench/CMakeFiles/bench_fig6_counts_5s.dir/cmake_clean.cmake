@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_counts_5s.dir/bench_fig6_counts_5s.cpp.o"
+  "CMakeFiles/bench_fig6_counts_5s.dir/bench_fig6_counts_5s.cpp.o.d"
+  "bench_fig6_counts_5s"
+  "bench_fig6_counts_5s.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_counts_5s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_vtp_fulltel.dir/bench_fig7_vtp_fulltel.cpp.o"
+  "CMakeFiles/bench_fig7_vtp_fulltel.dir/bench_fig7_vtp_fulltel.cpp.o.d"
+  "bench_fig7_vtp_fulltel"
+  "bench_fig7_vtp_fulltel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_vtp_fulltel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

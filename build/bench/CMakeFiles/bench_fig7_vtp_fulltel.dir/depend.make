@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_vtp_fulltel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_ftp_spacing.dir/bench_fig8_ftp_spacing.cpp.o"
+  "CMakeFiles/bench_fig8_ftp_spacing.dir/bench_fig8_ftp_spacing.cpp.o.d"
+  "bench_fig8_ftp_spacing"
+  "bench_fig8_ftp_spacing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_ftp_spacing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

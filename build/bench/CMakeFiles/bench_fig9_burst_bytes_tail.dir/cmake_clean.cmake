@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_burst_bytes_tail.dir/bench_fig9_burst_bytes_tail.cpp.o"
+  "CMakeFiles/bench_fig9_burst_bytes_tail.dir/bench_fig9_burst_bytes_tail.cpp.o.d"
+  "bench_fig9_burst_bytes_tail"
+  "bench_fig9_burst_bytes_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_burst_bytes_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

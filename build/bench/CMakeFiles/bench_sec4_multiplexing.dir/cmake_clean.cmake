@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_multiplexing.dir/bench_sec4_multiplexing.cpp.o"
+  "CMakeFiles/bench_sec4_multiplexing.dir/bench_sec4_multiplexing.cpp.o.d"
+  "bench_sec4_multiplexing"
+  "bench_sec4_multiplexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_multiplexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec4_queueing_delay.dir/bench_sec4_queueing_delay.cpp.o"
+  "CMakeFiles/bench_sec4_queueing_delay.dir/bench_sec4_queueing_delay.cpp.o.d"
+  "bench_sec4_queueing_delay"
+  "bench_sec4_queueing_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec4_queueing_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec7_whittle.dir/bench_sec7_whittle.cpp.o"
+  "CMakeFiles/bench_sec7_whittle.dir/bench_sec7_whittle.cpp.o.d"
+  "bench_sec7_whittle"
+  "bench_sec7_whittle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec7_whittle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

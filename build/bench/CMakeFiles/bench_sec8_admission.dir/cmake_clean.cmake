@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec8_admission.dir/bench_sec8_admission.cpp.o"
+  "CMakeFiles/bench_sec8_admission.dir/bench_sec8_admission.cpp.o.d"
+  "bench_sec8_admission"
+  "bench_sec8_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec8_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

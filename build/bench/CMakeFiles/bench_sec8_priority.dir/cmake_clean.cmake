@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec8_priority.dir/bench_sec8_priority.cpp.o"
+  "CMakeFiles/bench_sec8_priority.dir/bench_sec8_priority.cpp.o.d"
+  "bench_sec8_priority"
+  "bench_sec8_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec8_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ftp_heavytail.dir/ftp_heavytail.cpp.o"
+  "CMakeFiles/example_ftp_heavytail.dir/ftp_heavytail.cpp.o.d"
+  "example_ftp_heavytail"
+  "example_ftp_heavytail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ftp_heavytail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_queueing_delay.dir/queueing_delay.cpp.o"
+  "CMakeFiles/example_queueing_delay.dir/queueing_delay.cpp.o.d"
+  "example_queueing_delay"
+  "example_queueing_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_queueing_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_selfsimilarity_explorer.dir/selfsimilarity_explorer.cpp.o"
+  "CMakeFiles/example_selfsimilarity_explorer.dir/selfsimilarity_explorer.cpp.o.d"
+  "example_selfsimilarity_explorer"
+  "example_selfsimilarity_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_selfsimilarity_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

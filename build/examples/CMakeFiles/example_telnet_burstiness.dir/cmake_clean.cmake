@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_telnet_burstiness.dir/telnet_burstiness.cpp.o"
+  "CMakeFiles/example_telnet_burstiness.dir/telnet_burstiness.cpp.o.d"
+  "example_telnet_burstiness"
+  "example_telnet_burstiness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_telnet_burstiness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trace_pipeline.dir/trace_pipeline.cpp.o"
+  "CMakeFiles/example_trace_pipeline.dir/trace_pipeline.cpp.o.d"
+  "example_trace_pipeline"
+  "example_trace_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trace_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

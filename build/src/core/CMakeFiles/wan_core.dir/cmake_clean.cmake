@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_core.dir/models.cpp.o"
+  "CMakeFiles/wan_core.dir/models.cpp.o.d"
+  "CMakeFiles/wan_core.dir/poisson_report.cpp.o"
+  "CMakeFiles/wan_core.dir/poisson_report.cpp.o.d"
+  "CMakeFiles/wan_core.dir/vt_comparison.cpp.o"
+  "CMakeFiles/wan_core.dir/vt_comparison.cpp.o.d"
+  "libwan_core.a"
+  "libwan_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

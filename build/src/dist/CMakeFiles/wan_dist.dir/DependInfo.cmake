@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/distribution.cpp" "src/dist/CMakeFiles/wan_dist.dir/distribution.cpp.o" "gcc" "src/dist/CMakeFiles/wan_dist.dir/distribution.cpp.o.d"
+  "/root/repo/src/dist/empirical.cpp" "src/dist/CMakeFiles/wan_dist.dir/empirical.cpp.o" "gcc" "src/dist/CMakeFiles/wan_dist.dir/empirical.cpp.o.d"
+  "/root/repo/src/dist/exponential.cpp" "src/dist/CMakeFiles/wan_dist.dir/exponential.cpp.o" "gcc" "src/dist/CMakeFiles/wan_dist.dir/exponential.cpp.o.d"
+  "/root/repo/src/dist/logextreme.cpp" "src/dist/CMakeFiles/wan_dist.dir/logextreme.cpp.o" "gcc" "src/dist/CMakeFiles/wan_dist.dir/logextreme.cpp.o.d"
+  "/root/repo/src/dist/loglogistic.cpp" "src/dist/CMakeFiles/wan_dist.dir/loglogistic.cpp.o" "gcc" "src/dist/CMakeFiles/wan_dist.dir/loglogistic.cpp.o.d"
+  "/root/repo/src/dist/lognormal.cpp" "src/dist/CMakeFiles/wan_dist.dir/lognormal.cpp.o" "gcc" "src/dist/CMakeFiles/wan_dist.dir/lognormal.cpp.o.d"
+  "/root/repo/src/dist/normal.cpp" "src/dist/CMakeFiles/wan_dist.dir/normal.cpp.o" "gcc" "src/dist/CMakeFiles/wan_dist.dir/normal.cpp.o.d"
+  "/root/repo/src/dist/pareto.cpp" "src/dist/CMakeFiles/wan_dist.dir/pareto.cpp.o" "gcc" "src/dist/CMakeFiles/wan_dist.dir/pareto.cpp.o.d"
+  "/root/repo/src/dist/special.cpp" "src/dist/CMakeFiles/wan_dist.dir/special.cpp.o" "gcc" "src/dist/CMakeFiles/wan_dist.dir/special.cpp.o.d"
+  "/root/repo/src/dist/tcplib.cpp" "src/dist/CMakeFiles/wan_dist.dir/tcplib.cpp.o" "gcc" "src/dist/CMakeFiles/wan_dist.dir/tcplib.cpp.o.d"
+  "/root/repo/src/dist/uniform_dist.cpp" "src/dist/CMakeFiles/wan_dist.dir/uniform_dist.cpp.o" "gcc" "src/dist/CMakeFiles/wan_dist.dir/uniform_dist.cpp.o.d"
+  "/root/repo/src/dist/weibull.cpp" "src/dist/CMakeFiles/wan_dist.dir/weibull.cpp.o" "gcc" "src/dist/CMakeFiles/wan_dist.dir/weibull.cpp.o.d"
+  "/root/repo/src/dist/zipf.cpp" "src/dist/CMakeFiles/wan_dist.dir/zipf.cpp.o" "gcc" "src/dist/CMakeFiles/wan_dist.dir/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rng/CMakeFiles/wan_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_dist.dir/distribution.cpp.o"
+  "CMakeFiles/wan_dist.dir/distribution.cpp.o.d"
+  "CMakeFiles/wan_dist.dir/empirical.cpp.o"
+  "CMakeFiles/wan_dist.dir/empirical.cpp.o.d"
+  "CMakeFiles/wan_dist.dir/exponential.cpp.o"
+  "CMakeFiles/wan_dist.dir/exponential.cpp.o.d"
+  "CMakeFiles/wan_dist.dir/logextreme.cpp.o"
+  "CMakeFiles/wan_dist.dir/logextreme.cpp.o.d"
+  "CMakeFiles/wan_dist.dir/loglogistic.cpp.o"
+  "CMakeFiles/wan_dist.dir/loglogistic.cpp.o.d"
+  "CMakeFiles/wan_dist.dir/lognormal.cpp.o"
+  "CMakeFiles/wan_dist.dir/lognormal.cpp.o.d"
+  "CMakeFiles/wan_dist.dir/normal.cpp.o"
+  "CMakeFiles/wan_dist.dir/normal.cpp.o.d"
+  "CMakeFiles/wan_dist.dir/pareto.cpp.o"
+  "CMakeFiles/wan_dist.dir/pareto.cpp.o.d"
+  "CMakeFiles/wan_dist.dir/special.cpp.o"
+  "CMakeFiles/wan_dist.dir/special.cpp.o.d"
+  "CMakeFiles/wan_dist.dir/tcplib.cpp.o"
+  "CMakeFiles/wan_dist.dir/tcplib.cpp.o.d"
+  "CMakeFiles/wan_dist.dir/uniform_dist.cpp.o"
+  "CMakeFiles/wan_dist.dir/uniform_dist.cpp.o.d"
+  "CMakeFiles/wan_dist.dir/weibull.cpp.o"
+  "CMakeFiles/wan_dist.dir/weibull.cpp.o.d"
+  "CMakeFiles/wan_dist.dir/zipf.cpp.o"
+  "CMakeFiles/wan_dist.dir/zipf.cpp.o.d"
+  "libwan_dist.a"
+  "libwan_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_fft.dir/fft.cpp.o"
+  "CMakeFiles/wan_fft.dir/fft.cpp.o.d"
+  "CMakeFiles/wan_fft.dir/periodogram.cpp.o"
+  "CMakeFiles/wan_fft.dir/periodogram.cpp.o.d"
+  "libwan_fft.a"
+  "libwan_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

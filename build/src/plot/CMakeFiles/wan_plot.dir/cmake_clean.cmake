@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_plot.dir/ascii_plot.cpp.o"
+  "CMakeFiles/wan_plot.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/wan_plot.dir/series_io.cpp.o"
+  "CMakeFiles/wan_plot.dir/series_io.cpp.o.d"
+  "libwan_plot.a"
+  "libwan_plot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_plot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

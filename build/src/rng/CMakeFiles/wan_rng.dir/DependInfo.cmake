@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rng/rng.cpp" "src/rng/CMakeFiles/wan_rng.dir/rng.cpp.o" "gcc" "src/rng/CMakeFiles/wan_rng.dir/rng.cpp.o.d"
+  "/root/repo/src/rng/splitmix64.cpp" "src/rng/CMakeFiles/wan_rng.dir/splitmix64.cpp.o" "gcc" "src/rng/CMakeFiles/wan_rng.dir/splitmix64.cpp.o.d"
+  "/root/repo/src/rng/xoshiro256.cpp" "src/rng/CMakeFiles/wan_rng.dir/xoshiro256.cpp.o" "gcc" "src/rng/CMakeFiles/wan_rng.dir/xoshiro256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

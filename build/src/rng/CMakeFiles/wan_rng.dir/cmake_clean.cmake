@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_rng.dir/rng.cpp.o"
+  "CMakeFiles/wan_rng.dir/rng.cpp.o.d"
+  "CMakeFiles/wan_rng.dir/splitmix64.cpp.o"
+  "CMakeFiles/wan_rng.dir/splitmix64.cpp.o.d"
+  "CMakeFiles/wan_rng.dir/xoshiro256.cpp.o"
+  "CMakeFiles/wan_rng.dir/xoshiro256.cpp.o.d"
+  "libwan_rng.a"
+  "libwan_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/selfsim/farima.cpp" "src/selfsim/CMakeFiles/wan_selfsim.dir/farima.cpp.o" "gcc" "src/selfsim/CMakeFiles/wan_selfsim.dir/farima.cpp.o.d"
+  "/root/repo/src/selfsim/fgn.cpp" "src/selfsim/CMakeFiles/wan_selfsim.dir/fgn.cpp.o" "gcc" "src/selfsim/CMakeFiles/wan_selfsim.dir/fgn.cpp.o.d"
+  "/root/repo/src/selfsim/hurst_report.cpp" "src/selfsim/CMakeFiles/wan_selfsim.dir/hurst_report.cpp.o" "gcc" "src/selfsim/CMakeFiles/wan_selfsim.dir/hurst_report.cpp.o.d"
+  "/root/repo/src/selfsim/mginf.cpp" "src/selfsim/CMakeFiles/wan_selfsim.dir/mginf.cpp.o" "gcc" "src/selfsim/CMakeFiles/wan_selfsim.dir/mginf.cpp.o.d"
+  "/root/repo/src/selfsim/onoff.cpp" "src/selfsim/CMakeFiles/wan_selfsim.dir/onoff.cpp.o" "gcc" "src/selfsim/CMakeFiles/wan_selfsim.dir/onoff.cpp.o.d"
+  "/root/repo/src/selfsim/pareto_renewal.cpp" "src/selfsim/CMakeFiles/wan_selfsim.dir/pareto_renewal.cpp.o" "gcc" "src/selfsim/CMakeFiles/wan_selfsim.dir/pareto_renewal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fft/CMakeFiles/wan_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/wan_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/wan_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wan_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_selfsim.dir/farima.cpp.o"
+  "CMakeFiles/wan_selfsim.dir/farima.cpp.o.d"
+  "CMakeFiles/wan_selfsim.dir/fgn.cpp.o"
+  "CMakeFiles/wan_selfsim.dir/fgn.cpp.o.d"
+  "CMakeFiles/wan_selfsim.dir/hurst_report.cpp.o"
+  "CMakeFiles/wan_selfsim.dir/hurst_report.cpp.o.d"
+  "CMakeFiles/wan_selfsim.dir/mginf.cpp.o"
+  "CMakeFiles/wan_selfsim.dir/mginf.cpp.o.d"
+  "CMakeFiles/wan_selfsim.dir/onoff.cpp.o"
+  "CMakeFiles/wan_selfsim.dir/onoff.cpp.o.d"
+  "CMakeFiles/wan_selfsim.dir/pareto_renewal.cpp.o"
+  "CMakeFiles/wan_selfsim.dir/pareto_renewal.cpp.o.d"
+  "libwan_selfsim.a"
+  "libwan_selfsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_selfsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/admission.cpp" "src/sim/CMakeFiles/wan_sim.dir/admission.cpp.o" "gcc" "src/sim/CMakeFiles/wan_sim.dir/admission.cpp.o.d"
+  "/root/repo/src/sim/fifo.cpp" "src/sim/CMakeFiles/wan_sim.dir/fifo.cpp.o" "gcc" "src/sim/CMakeFiles/wan_sim.dir/fifo.cpp.o.d"
+  "/root/repo/src/sim/priority.cpp" "src/sim/CMakeFiles/wan_sim.dir/priority.cpp.o" "gcc" "src/sim/CMakeFiles/wan_sim.dir/priority.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/sim/CMakeFiles/wan_sim.dir/simulator.cpp.o" "gcc" "src/sim/CMakeFiles/wan_sim.dir/simulator.cpp.o.d"
+  "/root/repo/src/sim/tcp.cpp" "src/sim/CMakeFiles/wan_sim.dir/tcp.cpp.o" "gcc" "src/sim/CMakeFiles/wan_sim.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dist/CMakeFiles/wan_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/wan_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wan_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/wan_fft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_sim.dir/admission.cpp.o"
+  "CMakeFiles/wan_sim.dir/admission.cpp.o.d"
+  "CMakeFiles/wan_sim.dir/fifo.cpp.o"
+  "CMakeFiles/wan_sim.dir/fifo.cpp.o.d"
+  "CMakeFiles/wan_sim.dir/priority.cpp.o"
+  "CMakeFiles/wan_sim.dir/priority.cpp.o.d"
+  "CMakeFiles/wan_sim.dir/simulator.cpp.o"
+  "CMakeFiles/wan_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/wan_sim.dir/tcp.cpp.o"
+  "CMakeFiles/wan_sim.dir/tcp.cpp.o.d"
+  "libwan_sim.a"
+  "libwan_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/anderson_darling.cpp" "src/stats/CMakeFiles/wan_stats.dir/anderson_darling.cpp.o" "gcc" "src/stats/CMakeFiles/wan_stats.dir/anderson_darling.cpp.o.d"
+  "/root/repo/src/stats/autocorr.cpp" "src/stats/CMakeFiles/wan_stats.dir/autocorr.cpp.o" "gcc" "src/stats/CMakeFiles/wan_stats.dir/autocorr.cpp.o.d"
+  "/root/repo/src/stats/batch_means.cpp" "src/stats/CMakeFiles/wan_stats.dir/batch_means.cpp.o" "gcc" "src/stats/CMakeFiles/wan_stats.dir/batch_means.cpp.o.d"
+  "/root/repo/src/stats/beran.cpp" "src/stats/CMakeFiles/wan_stats.dir/beran.cpp.o" "gcc" "src/stats/CMakeFiles/wan_stats.dir/beran.cpp.o.d"
+  "/root/repo/src/stats/binomial.cpp" "src/stats/CMakeFiles/wan_stats.dir/binomial.cpp.o" "gcc" "src/stats/CMakeFiles/wan_stats.dir/binomial.cpp.o.d"
+  "/root/repo/src/stats/counting.cpp" "src/stats/CMakeFiles/wan_stats.dir/counting.cpp.o" "gcc" "src/stats/CMakeFiles/wan_stats.dir/counting.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/wan_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/wan_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/dispersion.cpp" "src/stats/CMakeFiles/wan_stats.dir/dispersion.cpp.o" "gcc" "src/stats/CMakeFiles/wan_stats.dir/dispersion.cpp.o.d"
+  "/root/repo/src/stats/ecdf.cpp" "src/stats/CMakeFiles/wan_stats.dir/ecdf.cpp.o" "gcc" "src/stats/CMakeFiles/wan_stats.dir/ecdf.cpp.o.d"
+  "/root/repo/src/stats/fitting.cpp" "src/stats/CMakeFiles/wan_stats.dir/fitting.cpp.o" "gcc" "src/stats/CMakeFiles/wan_stats.dir/fitting.cpp.o.d"
+  "/root/repo/src/stats/gph.cpp" "src/stats/CMakeFiles/wan_stats.dir/gph.cpp.o" "gcc" "src/stats/CMakeFiles/wan_stats.dir/gph.cpp.o.d"
+  "/root/repo/src/stats/hypothesis.cpp" "src/stats/CMakeFiles/wan_stats.dir/hypothesis.cpp.o" "gcc" "src/stats/CMakeFiles/wan_stats.dir/hypothesis.cpp.o.d"
+  "/root/repo/src/stats/poisson_test.cpp" "src/stats/CMakeFiles/wan_stats.dir/poisson_test.cpp.o" "gcc" "src/stats/CMakeFiles/wan_stats.dir/poisson_test.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/stats/CMakeFiles/wan_stats.dir/regression.cpp.o" "gcc" "src/stats/CMakeFiles/wan_stats.dir/regression.cpp.o.d"
+  "/root/repo/src/stats/rs_analysis.cpp" "src/stats/CMakeFiles/wan_stats.dir/rs_analysis.cpp.o" "gcc" "src/stats/CMakeFiles/wan_stats.dir/rs_analysis.cpp.o.d"
+  "/root/repo/src/stats/tail_fit.cpp" "src/stats/CMakeFiles/wan_stats.dir/tail_fit.cpp.o" "gcc" "src/stats/CMakeFiles/wan_stats.dir/tail_fit.cpp.o.d"
+  "/root/repo/src/stats/variance_time.cpp" "src/stats/CMakeFiles/wan_stats.dir/variance_time.cpp.o" "gcc" "src/stats/CMakeFiles/wan_stats.dir/variance_time.cpp.o.d"
+  "/root/repo/src/stats/whittle.cpp" "src/stats/CMakeFiles/wan_stats.dir/whittle.cpp.o" "gcc" "src/stats/CMakeFiles/wan_stats.dir/whittle.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fft/CMakeFiles/wan_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/wan_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/wan_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

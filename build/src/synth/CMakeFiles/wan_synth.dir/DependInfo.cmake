@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/arrivals.cpp" "src/synth/CMakeFiles/wan_synth.dir/arrivals.cpp.o" "gcc" "src/synth/CMakeFiles/wan_synth.dir/arrivals.cpp.o.d"
+  "/root/repo/src/synth/diurnal.cpp" "src/synth/CMakeFiles/wan_synth.dir/diurnal.cpp.o" "gcc" "src/synth/CMakeFiles/wan_synth.dir/diurnal.cpp.o.d"
+  "/root/repo/src/synth/ftp_source.cpp" "src/synth/CMakeFiles/wan_synth.dir/ftp_source.cpp.o" "gcc" "src/synth/CMakeFiles/wan_synth.dir/ftp_source.cpp.o.d"
+  "/root/repo/src/synth/host_model.cpp" "src/synth/CMakeFiles/wan_synth.dir/host_model.cpp.o" "gcc" "src/synth/CMakeFiles/wan_synth.dir/host_model.cpp.o.d"
+  "/root/repo/src/synth/machine_sources.cpp" "src/synth/CMakeFiles/wan_synth.dir/machine_sources.cpp.o" "gcc" "src/synth/CMakeFiles/wan_synth.dir/machine_sources.cpp.o.d"
+  "/root/repo/src/synth/mmpp.cpp" "src/synth/CMakeFiles/wan_synth.dir/mmpp.cpp.o" "gcc" "src/synth/CMakeFiles/wan_synth.dir/mmpp.cpp.o.d"
+  "/root/repo/src/synth/packet_fill.cpp" "src/synth/CMakeFiles/wan_synth.dir/packet_fill.cpp.o" "gcc" "src/synth/CMakeFiles/wan_synth.dir/packet_fill.cpp.o.d"
+  "/root/repo/src/synth/synthesizer.cpp" "src/synth/CMakeFiles/wan_synth.dir/synthesizer.cpp.o" "gcc" "src/synth/CMakeFiles/wan_synth.dir/synthesizer.cpp.o.d"
+  "/root/repo/src/synth/telnet_source.cpp" "src/synth/CMakeFiles/wan_synth.dir/telnet_source.cpp.o" "gcc" "src/synth/CMakeFiles/wan_synth.dir/telnet_source.cpp.o.d"
+  "/root/repo/src/synth/weathermap.cpp" "src/synth/CMakeFiles/wan_synth.dir/weathermap.cpp.o" "gcc" "src/synth/CMakeFiles/wan_synth.dir/weathermap.cpp.o.d"
+  "/root/repo/src/synth/www_source.cpp" "src/synth/CMakeFiles/wan_synth.dir/www_source.cpp.o" "gcc" "src/synth/CMakeFiles/wan_synth.dir/www_source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/wan_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/wan_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/wan_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wan_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/wan_fft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_synth.dir/arrivals.cpp.o"
+  "CMakeFiles/wan_synth.dir/arrivals.cpp.o.d"
+  "CMakeFiles/wan_synth.dir/diurnal.cpp.o"
+  "CMakeFiles/wan_synth.dir/diurnal.cpp.o.d"
+  "CMakeFiles/wan_synth.dir/ftp_source.cpp.o"
+  "CMakeFiles/wan_synth.dir/ftp_source.cpp.o.d"
+  "CMakeFiles/wan_synth.dir/host_model.cpp.o"
+  "CMakeFiles/wan_synth.dir/host_model.cpp.o.d"
+  "CMakeFiles/wan_synth.dir/machine_sources.cpp.o"
+  "CMakeFiles/wan_synth.dir/machine_sources.cpp.o.d"
+  "CMakeFiles/wan_synth.dir/mmpp.cpp.o"
+  "CMakeFiles/wan_synth.dir/mmpp.cpp.o.d"
+  "CMakeFiles/wan_synth.dir/packet_fill.cpp.o"
+  "CMakeFiles/wan_synth.dir/packet_fill.cpp.o.d"
+  "CMakeFiles/wan_synth.dir/synthesizer.cpp.o"
+  "CMakeFiles/wan_synth.dir/synthesizer.cpp.o.d"
+  "CMakeFiles/wan_synth.dir/telnet_source.cpp.o"
+  "CMakeFiles/wan_synth.dir/telnet_source.cpp.o.d"
+  "CMakeFiles/wan_synth.dir/weathermap.cpp.o"
+  "CMakeFiles/wan_synth.dir/weathermap.cpp.o.d"
+  "CMakeFiles/wan_synth.dir/www_source.cpp.o"
+  "CMakeFiles/wan_synth.dir/www_source.cpp.o.d"
+  "libwan_synth.a"
+  "libwan_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

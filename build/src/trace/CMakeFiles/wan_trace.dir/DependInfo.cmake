@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/binary_io.cpp" "src/trace/CMakeFiles/wan_trace.dir/binary_io.cpp.o" "gcc" "src/trace/CMakeFiles/wan_trace.dir/binary_io.cpp.o.d"
+  "/root/repo/src/trace/burst.cpp" "src/trace/CMakeFiles/wan_trace.dir/burst.cpp.o" "gcc" "src/trace/CMakeFiles/wan_trace.dir/burst.cpp.o.d"
+  "/root/repo/src/trace/conn_trace.cpp" "src/trace/CMakeFiles/wan_trace.dir/conn_trace.cpp.o" "gcc" "src/trace/CMakeFiles/wan_trace.dir/conn_trace.cpp.o.d"
+  "/root/repo/src/trace/csv_io.cpp" "src/trace/CMakeFiles/wan_trace.dir/csv_io.cpp.o" "gcc" "src/trace/CMakeFiles/wan_trace.dir/csv_io.cpp.o.d"
+  "/root/repo/src/trace/packet_trace.cpp" "src/trace/CMakeFiles/wan_trace.dir/packet_trace.cpp.o" "gcc" "src/trace/CMakeFiles/wan_trace.dir/packet_trace.cpp.o.d"
+  "/root/repo/src/trace/periodic.cpp" "src/trace/CMakeFiles/wan_trace.dir/periodic.cpp.o" "gcc" "src/trace/CMakeFiles/wan_trace.dir/periodic.cpp.o.d"
+  "/root/repo/src/trace/protocol.cpp" "src/trace/CMakeFiles/wan_trace.dir/protocol.cpp.o" "gcc" "src/trace/CMakeFiles/wan_trace.dir/protocol.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/wan_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/wan_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/wan_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/wan_rng.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wan_trace.dir/binary_io.cpp.o"
+  "CMakeFiles/wan_trace.dir/binary_io.cpp.o.d"
+  "CMakeFiles/wan_trace.dir/burst.cpp.o"
+  "CMakeFiles/wan_trace.dir/burst.cpp.o.d"
+  "CMakeFiles/wan_trace.dir/conn_trace.cpp.o"
+  "CMakeFiles/wan_trace.dir/conn_trace.cpp.o.d"
+  "CMakeFiles/wan_trace.dir/csv_io.cpp.o"
+  "CMakeFiles/wan_trace.dir/csv_io.cpp.o.d"
+  "CMakeFiles/wan_trace.dir/packet_trace.cpp.o"
+  "CMakeFiles/wan_trace.dir/packet_trace.cpp.o.d"
+  "CMakeFiles/wan_trace.dir/periodic.cpp.o"
+  "CMakeFiles/wan_trace.dir/periodic.cpp.o.d"
+  "CMakeFiles/wan_trace.dir/protocol.cpp.o"
+  "CMakeFiles/wan_trace.dir/protocol.cpp.o.d"
+  "libwan_trace.a"
+  "libwan_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wan_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_reports.dir/test_core_reports.cpp.o"
+  "CMakeFiles/test_core_reports.dir/test_core_reports.cpp.o.d"
+  "test_core_reports"
+  "test_core_reports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_reports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_empirical_zipf.dir/test_dist_empirical_zipf.cpp.o"
+  "CMakeFiles/test_dist_empirical_zipf.dir/test_dist_empirical_zipf.cpp.o.d"
+  "test_dist_empirical_zipf"
+  "test_dist_empirical_zipf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_empirical_zipf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

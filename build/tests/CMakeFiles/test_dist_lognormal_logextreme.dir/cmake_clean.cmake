@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_lognormal_logextreme.dir/test_dist_lognormal_logextreme.cpp.o"
+  "CMakeFiles/test_dist_lognormal_logextreme.dir/test_dist_lognormal_logextreme.cpp.o.d"
+  "test_dist_lognormal_logextreme"
+  "test_dist_lognormal_logextreme.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_lognormal_logextreme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

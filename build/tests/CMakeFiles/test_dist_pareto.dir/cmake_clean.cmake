@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_pareto.dir/test_dist_pareto.cpp.o"
+  "CMakeFiles/test_dist_pareto.dir/test_dist_pareto.cpp.o.d"
+  "test_dist_pareto"
+  "test_dist_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

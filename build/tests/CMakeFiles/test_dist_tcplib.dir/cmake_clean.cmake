@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_tcplib.dir/test_dist_tcplib.cpp.o"
+  "CMakeFiles/test_dist_tcplib.dir/test_dist_tcplib.cpp.o.d"
+  "test_dist_tcplib"
+  "test_dist_tcplib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_tcplib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

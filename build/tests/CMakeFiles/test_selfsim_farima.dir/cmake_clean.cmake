@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selfsim_farima.dir/test_selfsim_farima.cpp.o"
+  "CMakeFiles/test_selfsim_farima.dir/test_selfsim_farima.cpp.o.d"
+  "test_selfsim_farima"
+  "test_selfsim_farima.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selfsim_farima.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

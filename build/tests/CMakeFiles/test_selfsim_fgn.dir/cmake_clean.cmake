@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selfsim_fgn.dir/test_selfsim_fgn.cpp.o"
+  "CMakeFiles/test_selfsim_fgn.dir/test_selfsim_fgn.cpp.o.d"
+  "test_selfsim_fgn"
+  "test_selfsim_fgn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selfsim_fgn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selfsim_mginf.dir/test_selfsim_mginf.cpp.o"
+  "CMakeFiles/test_selfsim_mginf.dir/test_selfsim_mginf.cpp.o.d"
+  "test_selfsim_mginf"
+  "test_selfsim_mginf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selfsim_mginf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

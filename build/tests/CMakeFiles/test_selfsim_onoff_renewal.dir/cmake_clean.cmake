@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_selfsim_onoff_renewal.dir/test_selfsim_onoff_renewal.cpp.o"
+  "CMakeFiles/test_selfsim_onoff_renewal.dir/test_selfsim_onoff_renewal.cpp.o.d"
+  "test_selfsim_onoff_renewal"
+  "test_selfsim_onoff_renewal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_selfsim_onoff_renewal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_selfsim_onoff_renewal.
+# This may be replaced when dependencies are built.

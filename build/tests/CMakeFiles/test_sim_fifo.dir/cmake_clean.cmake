@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_fifo.dir/test_sim_fifo.cpp.o"
+  "CMakeFiles/test_sim_fifo.dir/test_sim_fifo.cpp.o.d"
+  "test_sim_fifo"
+  "test_sim_fifo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_fifo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_priority_admission.dir/test_sim_priority_admission.cpp.o"
+  "CMakeFiles/test_sim_priority_admission.dir/test_sim_priority_admission.cpp.o.d"
+  "test_sim_priority_admission"
+  "test_sim_priority_admission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_priority_admission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_tcp.dir/test_sim_tcp.cpp.o"
+  "CMakeFiles/test_sim_tcp.dir/test_sim_tcp.cpp.o.d"
+  "test_sim_tcp"
+  "test_sim_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_stats_ad.cpp" "tests/CMakeFiles/test_stats_ad.dir/test_stats_ad.cpp.o" "gcc" "tests/CMakeFiles/test_stats_ad.dir/test_stats_ad.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wan_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/wan_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/selfsim/CMakeFiles/wan_selfsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wan_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/wan_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/wan_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/wan_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/wan_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/rng/CMakeFiles/wan_rng.dir/DependInfo.cmake"
+  "/root/repo/build/src/plot/CMakeFiles/wan_plot.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

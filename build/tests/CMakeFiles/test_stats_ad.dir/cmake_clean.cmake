@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_ad.dir/test_stats_ad.cpp.o"
+  "CMakeFiles/test_stats_ad.dir/test_stats_ad.cpp.o.d"
+  "test_stats_ad"
+  "test_stats_ad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_ad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_dispersion_mmpp.dir/test_stats_dispersion_mmpp.cpp.o"
+  "CMakeFiles/test_stats_dispersion_mmpp.dir/test_stats_dispersion_mmpp.cpp.o.d"
+  "test_stats_dispersion_mmpp"
+  "test_stats_dispersion_mmpp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_dispersion_mmpp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

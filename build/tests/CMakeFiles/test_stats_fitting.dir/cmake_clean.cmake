@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_fitting.dir/test_stats_fitting.cpp.o"
+  "CMakeFiles/test_stats_fitting.dir/test_stats_fitting.cpp.o.d"
+  "test_stats_fitting"
+  "test_stats_fitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_fitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

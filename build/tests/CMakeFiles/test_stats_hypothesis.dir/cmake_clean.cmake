@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_hypothesis.dir/test_stats_hypothesis.cpp.o"
+  "CMakeFiles/test_stats_hypothesis.dir/test_stats_hypothesis.cpp.o.d"
+  "test_stats_hypothesis"
+  "test_stats_hypothesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_hypothesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

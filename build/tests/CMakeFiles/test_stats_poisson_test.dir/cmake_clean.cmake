@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_poisson_test.dir/test_stats_poisson_test.cpp.o"
+  "CMakeFiles/test_stats_poisson_test.dir/test_stats_poisson_test.cpp.o.d"
+  "test_stats_poisson_test"
+  "test_stats_poisson_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_poisson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

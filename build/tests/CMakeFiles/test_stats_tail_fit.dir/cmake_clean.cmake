@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_tail_fit.dir/test_stats_tail_fit.cpp.o"
+  "CMakeFiles/test_stats_tail_fit.dir/test_stats_tail_fit.cpp.o.d"
+  "test_stats_tail_fit"
+  "test_stats_tail_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_tail_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

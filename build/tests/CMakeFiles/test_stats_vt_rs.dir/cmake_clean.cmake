@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_vt_rs.dir/test_stats_vt_rs.cpp.o"
+  "CMakeFiles/test_stats_vt_rs.dir/test_stats_vt_rs.cpp.o.d"
+  "test_stats_vt_rs"
+  "test_stats_vt_rs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_vt_rs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

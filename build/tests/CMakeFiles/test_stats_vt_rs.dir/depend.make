@@ -1,0 +1,2 @@
+# Empty dependencies file for test_stats_vt_rs.
+# This may be replaced when dependencies are built.

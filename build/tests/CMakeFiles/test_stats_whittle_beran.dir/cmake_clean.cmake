@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats_whittle_beran.dir/test_stats_whittle_beran.cpp.o"
+  "CMakeFiles/test_stats_whittle_beran.dir/test_stats_whittle_beran.cpp.o.d"
+  "test_stats_whittle_beran"
+  "test_stats_whittle_beran.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats_whittle_beran.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_diurnal_arrivals.dir/test_synth_diurnal_arrivals.cpp.o"
+  "CMakeFiles/test_synth_diurnal_arrivals.dir/test_synth_diurnal_arrivals.cpp.o.d"
+  "test_synth_diurnal_arrivals"
+  "test_synth_diurnal_arrivals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_diurnal_arrivals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_ftp.dir/test_synth_ftp.cpp.o"
+  "CMakeFiles/test_synth_ftp.dir/test_synth_ftp.cpp.o.d"
+  "test_synth_ftp"
+  "test_synth_ftp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_ftp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

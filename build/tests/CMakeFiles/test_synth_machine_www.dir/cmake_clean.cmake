@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_machine_www.dir/test_synth_machine_www.cpp.o"
+  "CMakeFiles/test_synth_machine_www.dir/test_synth_machine_www.cpp.o.d"
+  "test_synth_machine_www"
+  "test_synth_machine_www.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_machine_www.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

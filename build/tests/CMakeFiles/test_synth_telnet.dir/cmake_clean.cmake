@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_telnet.dir/test_synth_telnet.cpp.o"
+  "CMakeFiles/test_synth_telnet.dir/test_synth_telnet.cpp.o.d"
+  "test_synth_telnet"
+  "test_synth_telnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_telnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

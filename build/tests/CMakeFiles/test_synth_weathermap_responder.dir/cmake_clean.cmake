@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth_weathermap_responder.dir/test_synth_weathermap_responder.cpp.o"
+  "CMakeFiles/test_synth_weathermap_responder.dir/test_synth_weathermap_responder.cpp.o.d"
+  "test_synth_weathermap_responder"
+  "test_synth_weathermap_responder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth_weathermap_responder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_synth_weathermap_responder.
+# This may be replaced when dependencies are built.

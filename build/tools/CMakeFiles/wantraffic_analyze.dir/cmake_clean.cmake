@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wantraffic_analyze.dir/wantraffic_analyze.cpp.o"
+  "CMakeFiles/wantraffic_analyze.dir/wantraffic_analyze.cpp.o.d"
+  "wantraffic_analyze"
+  "wantraffic_analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wantraffic_analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

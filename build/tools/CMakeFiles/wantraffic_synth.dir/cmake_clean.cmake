@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wantraffic_synth.dir/wantraffic_synth.cpp.o"
+  "CMakeFiles/wantraffic_synth.dir/wantraffic_synth.cpp.o.d"
+  "wantraffic_synth"
+  "wantraffic_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wantraffic_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
