@@ -1,0 +1,176 @@
+// Minimal serial-vs-parallel perf harness for the bench_perf_* targets.
+//
+// Each op is timed twice — once with the par layer forced serial
+// (1 thread) and once at the configured thread count — and the caller
+// supplies an equality check so the JSON records that the parallel run
+// reproduced the serial output exactly. Results append into one shared
+// BENCH_perf.json (array of objects), so running both perf benches
+// produces a single machine-readable perf trajectory file.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/par/parallel.hpp"
+
+namespace wan::bench {
+
+struct BenchResult {
+  std::string op;
+  std::size_t threads = 1;    ///< thread count of the parallel run
+  double items = 0.0;         ///< work units per run, for throughput
+  std::string unit = "items";
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;   ///< == serial_ms for serial-only ops
+  double speedup = 1.0;       ///< serial_ms / parallel_ms
+  double throughput = 0.0;    ///< items per second at the best time
+  bool identical = true;      ///< parallel output matched serial output
+};
+
+/// Best-of-`reps` wall time of fn, in milliseconds.
+inline double min_time_ms(const std::function<void()>& fn, int reps = 3) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+class Harness {
+ public:
+  /// argv[1] overrides the JSON output path (default BENCH_perf.json in
+  /// the working directory).
+  Harness(int argc, char** argv)
+      : path_(argc > 1 ? argv[1] : "BENCH_perf.json"),
+        threads_(par::thread_count() > 4 ? par::thread_count() : 4) {
+    std::printf("%-34s %10s %10s %8s %8s %s\n", "op", "serial_ms",
+                "par_ms", "speedup", "ident", "throughput");
+  }
+
+  ~Harness() { write(); }
+
+  std::size_t threads() const { return threads_; }
+
+  /// Times `run_serial` at 1 thread and `run_parallel` at threads(); the
+  /// two closures should write their outputs into distinct caller-held
+  /// slots which `identical` then compares. Runs repeat `reps` times, so
+  /// they must be idempotent for a fixed seed.
+  void compare(const std::string& op, double items, const std::string& unit,
+               const std::function<void()>& run_serial,
+               const std::function<void()>& run_parallel,
+               const std::function<bool()>& identical, int reps = 3) {
+    BenchResult r;
+    r.op = op;
+    r.threads = threads_;
+    r.items = items;
+    r.unit = unit;
+
+    par::set_thread_count(1);
+    r.serial_ms = min_time_ms(run_serial, reps);
+
+    par::set_thread_count(threads_);
+    r.parallel_ms = min_time_ms(run_parallel, reps);
+
+    r.speedup = r.parallel_ms > 0.0 ? r.serial_ms / r.parallel_ms : 1.0;
+    const double best =
+        r.parallel_ms < r.serial_ms ? r.parallel_ms : r.serial_ms;
+    r.throughput = best > 0.0 ? items / (best / 1000.0) : 0.0;
+    r.identical = identical();
+    add(r);
+  }
+
+  /// Times a serial-only op (no parallel path); speedup is reported as 1.
+  void serial_only(const std::string& op, double items,
+                   const std::string& unit, const std::function<void()>& run,
+                   int reps = 3) {
+    BenchResult r;
+    r.op = op;
+    r.threads = 1;
+    r.items = items;
+    r.unit = unit;
+    par::set_thread_count(1);
+    r.serial_ms = min_time_ms(run, reps);
+    r.parallel_ms = r.serial_ms;
+    r.throughput =
+        r.serial_ms > 0.0 ? items / (r.serial_ms / 1000.0) : 0.0;
+    add(r);
+  }
+
+  void add(BenchResult r) {
+    std::printf("%-34s %10.3f %10.3f %7.2fx %8s %10.0f %s/s\n",
+                r.op.c_str(), r.serial_ms, r.parallel_ms, r.speedup,
+                r.identical ? "yes" : "NO", r.throughput, r.unit.c_str());
+    std::fflush(stdout);
+    results_.push_back(std::move(r));
+  }
+
+  /// Appends results into the JSON array at path_, creating it if absent.
+  void write() const {
+    if (results_.empty()) return;
+    std::string existing;
+    {
+      std::ifstream in(path_);
+      if (in) {
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        existing = ss.str();
+      }
+    }
+    std::ostringstream out;
+    const std::size_t close = existing.rfind(']');
+    bool appending = false;
+    if (close != std::string::npos &&
+        existing.find('[') != std::string::npos) {
+      // Splice new entries before the final ']' of the existing array.
+      std::string head = existing.substr(0, close);
+      while (!head.empty() &&
+             (head.back() == '\n' || head.back() == ' ' ||
+              head.back() == '\t'))
+        head.pop_back();
+      if (head.empty()) head = "[";
+      appending = head.back() != '[';
+      out << head;
+    } else {
+      out << "[";
+    }
+    for (const BenchResult& r : results_) {
+      out << (appending ? "," : "") << "\n  " << to_json(r);
+      appending = true;
+    }
+    out << "\n]\n";
+    std::ofstream of(path_, std::ios::trunc);
+    of << out.str();
+    std::printf("wrote %zu result(s) to %s\n", results_.size(),
+                path_.c_str());
+  }
+
+ private:
+  static std::string to_json(const BenchResult& r) {
+    std::ostringstream j;
+    j << "{\"op\": \"" << r.op << "\", \"threads\": " << r.threads
+      << ", \"items\": " << r.items << ", \"unit\": \"" << r.unit
+      << "\", \"serial_ms\": " << r.serial_ms
+      << ", \"parallel_ms\": " << r.parallel_ms
+      << ", \"speedup\": " << r.speedup
+      << ", \"throughput_per_s\": " << r.throughput
+      << ", \"identical\": " << (r.identical ? "true" : "false") << "}";
+    return j.str();
+  }
+
+  std::string path_;
+  std::size_t threads_;
+  std::vector<BenchResult> results_;
+};
+
+}  // namespace wan::bench

@@ -1,89 +1,100 @@
-// Performance microbenchmarks (google-benchmark) for traffic generation:
-// distribution sampling, FULL-TEL synthesis, FTP session synthesis, and
-// whole-trace assembly throughput.
-#include <benchmark/benchmark.h>
+// Perf bench for traffic generation: whole-trace synthesis serial vs
+// parallel (per-source tasks), plus serial sampling micro-ops. Appends
+// results to BENCH_perf.json (see bench_harness.hpp).
+#include <cstdio>
 
+#include "bench/bench_harness.hpp"
 #include "src/dist/pareto.hpp"
 #include "src/dist/tcplib.hpp"
+#include "src/par/parallel.hpp"
 #include "src/rng/rng.hpp"
-#include "src/synth/ftp_source.hpp"
 #include "src/synth/synthesizer.hpp"
-#include "src/synth/telnet_source.hpp"
+#include "src/trace/conn_trace.hpp"
+#include "src/trace/packet_trace.hpp"
 
 using namespace wan;
 
 namespace {
 
-void BM_SampleTcplib(benchmark::State& state) {
-  rng::Rng rng(1);
-  const dist::TcplibTelnetInterarrival d;
-  for (auto _ : state) benchmark::DoNotOptimize(d.sample(rng));
-}
-BENCHMARK(BM_SampleTcplib);
-
-void BM_SamplePareto(benchmark::State& state) {
-  rng::Rng rng(2);
-  const dist::Pareto d(1.0, 1.06);
-  for (auto _ : state) benchmark::DoNotOptimize(d.sample(rng));
-}
-BENCHMARK(BM_SamplePareto);
-
-void BM_FullTelHour(benchmark::State& state) {
-  synth::TelnetConfig cfg;
-  cfg.profile = synth::DiurnalProfile::flat();
-  cfg.conns_per_day = 24.0 * static_cast<double>(state.range(0));
-  const synth::TelnetSource src(cfg);
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    rng::Rng rng(seed++);
-    auto conns = src.generate_connections(
-        rng, 0.0, 3600.0, synth::InterarrivalScheme::kTcplib);
-    benchmark::DoNotOptimize(conns);
+bool same_conn_trace(const trace::ConnTrace& a, const trace::ConnTrace& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& x = a.records()[i];
+    const auto& y = b.records()[i];
+    if (x.start != y.start || x.duration != y.duration ||
+        x.protocol != y.protocol || x.src_host != y.src_host ||
+        x.dst_host != y.dst_host || x.bytes_orig != y.bytes_orig ||
+        x.bytes_resp != y.bytes_resp || x.session_id != y.session_id)
+      return false;
   }
-  state.counters["conns/h"] = static_cast<double>(state.range(0));
+  return true;
 }
-BENCHMARK(BM_FullTelHour)->Arg(50)->Arg(150)->Arg(500);
 
-void BM_FtpHour(benchmark::State& state) {
-  synth::FtpConfig cfg;
-  cfg.profile = synth::DiurnalProfile::flat();
-  cfg.sessions_per_day = 24.0 * 200.0;
-  const synth::FtpSource src(cfg);
-  const synth::HostModel hosts(100, 1000);
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    rng::Rng rng(seed++);
-    trace::ConnTrace out("bench", 0.0, 3600.0);
-    std::uint64_t sid = 1;
-    src.generate(rng, 0.0, 3600.0, hosts, &sid, out);
-    benchmark::DoNotOptimize(out);
+bool same_packet_trace(const trace::PacketTrace& a,
+                       const trace::PacketTrace& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto& x = a.records()[i];
+    const auto& y = b.records()[i];
+    if (x.time != y.time || x.protocol != y.protocol ||
+        x.conn_id != y.conn_id || x.from_originator != y.from_originator ||
+        x.payload_bytes != y.payload_bytes)
+      return false;
   }
+  return true;
 }
-BENCHMARK(BM_FtpHour);
-
-void BM_SynthesizeConnDay(benchmark::State& state) {
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    auto cfg = synth::lbl_conn_preset("bench", 1.0, seed++);
-    auto tr = synth::synthesize_conn_trace(cfg);
-    benchmark::DoNotOptimize(tr);
-    state.counters["conns"] = static_cast<double>(tr.size());
-  }
-}
-BENCHMARK(BM_SynthesizeConnDay)->Unit(benchmark::kMillisecond);
-
-void BM_SynthesizePacketQuarterHour(benchmark::State& state) {
-  std::uint64_t seed = 1;
-  for (auto _ : state) {
-    auto cfg = synth::lbl_pkt_preset("bench", true, seed++);
-    cfg.hours = 0.25;
-    auto tr = synth::synthesize_packet_trace(cfg);
-    benchmark::DoNotOptimize(tr);
-    state.counters["pkts"] = static_cast<double>(tr.size());
-  }
-}
-BENCHMARK(BM_SynthesizePacketQuarterHour)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv);
+
+  // Whole-day SYN/FIN connection trace, all eight per-protocol sources.
+  {
+    const auto cfg = synth::lbl_conn_preset("bench", 1.0, 42);
+    trace::ConnTrace serial, parallel;
+    harness.compare(
+        "synthesize_conn_trace/day", 1.0, "traces",
+        [&] { serial = synth::synthesize_conn_trace(cfg); },
+        [&] { parallel = synth::synthesize_conn_trace(cfg); },
+        [&] { return same_conn_trace(serial, parallel); });
+    std::printf("  (conn records: %zu)\n", serial.size());
+  }
+
+  // Packet-level trace, quarter hour (FULL-TEL + bulk fill).
+  {
+    auto cfg = synth::lbl_pkt_preset("bench", /*tcp_only=*/true, 42);
+    cfg.hours = 0.25;
+    trace::PacketTrace serial, parallel;
+    harness.compare(
+        "synthesize_packet_trace/15min", 1.0, "traces",
+        [&] { serial = synth::synthesize_packet_trace(cfg); },
+        [&] { parallel = synth::synthesize_packet_trace(cfg); },
+        [&] { return same_packet_trace(serial, parallel); });
+    std::printf("  (packet records: %zu)\n", serial.size());
+  }
+
+  // Serial sampling micro-ops, for the per-draw cost trajectory.
+  {
+    constexpr std::size_t kDraws = 1000000;
+    rng::Rng rng(1);
+    const dist::TcplibTelnetInterarrival tcplib;
+    harness.serial_only("sample/tcplib_interarrival",
+                        static_cast<double>(kDraws), "draws", [&] {
+                          double acc = 0.0;
+                          for (std::size_t i = 0; i < kDraws; ++i)
+                            acc += tcplib.sample(rng);
+                          if (acc < 0.0) std::printf("%f", acc);
+                        });
+    const dist::Pareto pareto(1.0, 1.06);
+    harness.serial_only("sample/pareto", static_cast<double>(kDraws),
+                        "draws", [&] {
+                          double acc = 0.0;
+                          for (std::size_t i = 0; i < kDraws; ++i)
+                            acc += pareto.sample(rng);
+                          if (acc < 0.0) std::printf("%f", acc);
+                        });
+  }
+
+  return 0;
+}

@@ -1,17 +1,17 @@
-// Performance microbenchmarks (google-benchmark) for the statistical
-// machinery: FFT, periodogram, Anderson-Darling, variance-time, Whittle,
-// and fGn generation. These document the costs that make whole-trace
-// analyses affordable.
-#include <benchmark/benchmark.h>
-
+// Perf bench for the estimation machinery: variance-time, Whittle, and
+// R/S serial vs parallel, plus serial FFT/periodogram micro-ops. Appends
+// results to BENCH_perf.json (see bench_harness.hpp).
+#include <cmath>
+#include <cstdio>
 #include <vector>
 
-#include "src/dist/exponential.hpp"
+#include "bench/bench_harness.hpp"
 #include "src/fft/fft.hpp"
 #include "src/fft/periodogram.hpp"
+#include "src/par/parallel.hpp"
 #include "src/rng/rng.hpp"
 #include "src/selfsim/fgn.hpp"
-#include "src/stats/anderson_darling.hpp"
+#include "src/stats/rs_analysis.hpp"
 #include "src/stats/variance_time.hpp"
 #include "src/stats/whittle.hpp"
 
@@ -26,83 +26,95 @@ std::vector<double> noise(std::size_t n, std::uint64_t seed) {
   return x;
 }
 
-void BM_FftPow2(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  std::vector<fft::cd> x(n);
-  rng::Rng rng(1);
-  for (auto& v : x) v = fft::cd(rng.uniform01(), rng.uniform01());
-  for (auto _ : state) {
-    auto copy = x;
-    fft::fft_pow2(copy, false);
-    benchmark::DoNotOptimize(copy);
+bool same_vt(const stats::VarianceTimePlot& a,
+             const stats::VarianceTimePlot& b) {
+  if (a.points.size() != b.points.size() || a.base_mean != b.base_mean)
+    return false;
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    if (a.points[i].m != b.points[i].m ||
+        a.points[i].variance != b.points[i].variance ||
+        a.points[i].normalized != b.points[i].normalized ||
+        a.points[i].n_blocks != b.points[i].n_blocks)
+      return false;
   }
-  state.SetComplexityN(state.range(0));
+  return true;
 }
-BENCHMARK(BM_FftPow2)->Range(1 << 8, 1 << 16)->Complexity(benchmark::oNLogN);
 
-void BM_FftBluestein(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0)) + 1;  // odd-ish
-  std::vector<fft::cd> x(n);
-  rng::Rng rng(2);
-  for (auto& v : x) v = fft::cd(rng.uniform01(), rng.uniform01());
-  for (auto _ : state) {
-    auto out = fft::fft(x);
-    benchmark::DoNotOptimize(out);
-  }
+bool same_whittle(const stats::WhittleResult& a,
+                  const stats::WhittleResult& b) {
+  return a.hurst == b.hurst && a.scale == b.scale &&
+         a.objective == b.objective && a.stderr_hurst == b.stderr_hurst;
 }
-BENCHMARK(BM_FftBluestein)->Range(1 << 8, 1 << 14);
 
-void BM_Periodogram(benchmark::State& state) {
-  const auto x = noise(static_cast<std::size_t>(state.range(0)), 3);
-  for (auto _ : state) {
-    auto pg = fft::periodogram(x);
-    benchmark::DoNotOptimize(pg);
+bool same_rs(const stats::RsAnalysis& a, const stats::RsAnalysis& b) {
+  if (a.points.size() != b.points.size()) return false;
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    if (a.points[i].window != b.points[i].window ||
+        a.points[i].mean_rs != b.points[i].mean_rs)
+      return false;
   }
+  return true;
 }
-BENCHMARK(BM_Periodogram)->Range(1 << 10, 1 << 16);
-
-void BM_AndersonDarlingExp(benchmark::State& state) {
-  rng::Rng rng(4);
-  const dist::Exponential e(1.0);
-  std::vector<double> x(static_cast<std::size_t>(state.range(0)));
-  for (double& v : x) v = e.sample(rng);
-  for (auto _ : state) {
-    auto r = stats::ad_test_exponential(x);
-    benchmark::DoNotOptimize(r);
-  }
-}
-BENCHMARK(BM_AndersonDarlingExp)->Range(64, 1 << 14);
-
-void BM_VarianceTimePlot(benchmark::State& state) {
-  const auto x = noise(static_cast<std::size_t>(state.range(0)), 5);
-  for (auto _ : state) {
-    auto vt = stats::variance_time_plot(x);
-    benchmark::DoNotOptimize(vt);
-  }
-}
-BENCHMARK(BM_VarianceTimePlot)->Range(1 << 12, 1 << 18);
-
-void BM_WhittleFgn(benchmark::State& state) {
-  rng::Rng rng(6);
-  const auto x = selfsim::generate_fgn(
-      rng, static_cast<std::size_t>(state.range(0)), 0.8);
-  for (auto _ : state) {
-    auto r = stats::whittle_fgn(x);
-    benchmark::DoNotOptimize(r);
-  }
-}
-BENCHMARK(BM_WhittleFgn)->Range(1 << 9, 1 << 12);
-
-void BM_GenerateFgn(benchmark::State& state) {
-  rng::Rng rng(7);
-  for (auto _ : state) {
-    auto x = selfsim::generate_fgn(
-        rng, static_cast<std::size_t>(state.range(0)), 0.8);
-    benchmark::DoNotOptimize(x);
-  }
-}
-BENCHMARK(BM_GenerateFgn)->Range(1 << 10, 1 << 16);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Harness harness(argc, argv);
+
+  // Variance-time plot over a long count series (per-level tasks).
+  {
+    const auto x = noise(1 << 18, 5);
+    stats::VarianceTimePlot serial, parallel;
+    harness.compare(
+        "variance_time_plot/262144", static_cast<double>(x.size()),
+        "samples", [&] { serial = stats::variance_time_plot(x); },
+        [&] { parallel = stats::variance_time_plot(x); },
+        [&] { return same_vt(serial, parallel); });
+  }
+
+  // Whittle fGn estimation (chunked likelihood sums + grid search).
+  {
+    rng::Rng rng(6);
+    const auto x = selfsim::generate_fgn(rng, 1 << 14, 0.8);
+    stats::WhittleResult serial, parallel;
+    harness.compare(
+        "whittle_fgn/16384", static_cast<double>(x.size()), "samples",
+        [&] { serial = stats::whittle_fgn(x); },
+        [&] { parallel = stats::whittle_fgn(x); },
+        [&] { return same_whittle(serial, parallel); });
+  }
+
+  // R/S pox-plot statistics (per-window-size tasks).
+  {
+    rng::Rng rng(7);
+    const auto x = selfsim::generate_fgn(rng, 1 << 17, 0.8);
+    stats::RsAnalysis serial, parallel;
+    harness.compare(
+        "rs_analysis/131072", static_cast<double>(x.size()), "samples",
+        [&] { serial = stats::rs_analysis(x); },
+        [&] { parallel = stats::rs_analysis(x); },
+        [&] { return same_rs(serial, parallel); });
+  }
+
+  // Serial micro-ops: FFT and periodogram costs underpinning the above.
+  {
+    const std::size_t n = 1 << 16;
+    std::vector<fft::cd> x(n);
+    rng::Rng rng(8);
+    for (auto& v : x) v = fft::cd(rng.uniform01(), rng.uniform01());
+    harness.serial_only("fft_pow2/65536", static_cast<double>(n), "samples",
+                        [&] {
+                          auto copy = x;
+                          fft::fft_pow2(copy, false);
+                          if (copy[0].real() > 1e30) std::printf("x");
+                        });
+    const auto y = noise(n, 9);
+    harness.serial_only("periodogram/65536", static_cast<double>(n),
+                        "samples", [&] {
+                          auto pg = fft::periodogram(y);
+                          if (pg.ordinate.empty()) std::printf("x");
+                        });
+  }
+
+  return 0;
+}

@@ -29,19 +29,25 @@ void fft_pow2(std::span<cd> data, bool inverse) {
     if (i < j) std::swap(data[i], data[j]);
   }
 
-  // Butterflies.
+  // Butterflies, with per-stage twiddle tables. Each w_len^k comes
+  // straight from cos/sin instead of the incremental w *= wlen recurrence,
+  // which accumulates O(len) rounding error by the end of a stage; the
+  // table is also computed once per stage instead of once per block.
+  std::vector<cd> twiddle(n / 2);
   for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t half = len / 2;
     const double ang =
         (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
-    const cd wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t k = 0; k < half; ++k) {
+      const double a = ang * static_cast<double>(k);
+      twiddle[k] = cd(std::cos(a), std::sin(a));
+    }
     for (std::size_t i = 0; i < n; i += len) {
-      cd w(1.0, 0.0);
-      for (std::size_t k = 0; k < len / 2; ++k) {
+      for (std::size_t k = 0; k < half; ++k) {
         const cd u = data[i + k];
-        const cd v = data[i + k + len / 2] * w;
+        const cd v = data[i + k + half] * twiddle[k];
         data[i + k] = u + v;
-        data[i + k + len / 2] = u - v;
-        w *= wlen;
+        data[i + k + half] = u - v;
       }
     }
   }

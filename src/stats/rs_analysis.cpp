@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/par/parallel.hpp"
 #include "src/stats/descriptive.hpp"
 
 namespace wan::stats {
@@ -25,34 +26,56 @@ double window_rs(std::span<const double> w) {
   return (hi - lo) / s;
 }
 
+// Mean R/S over the non-overlapping windows of one size; n_windows == 0
+// when every window was degenerate.
+RsPoint rs_point_at_window(std::span<const double> x, std::size_t w,
+                           std::size_t* n_windows) {
+  double sum_rs = 0.0;
+  *n_windows = 0;
+  for (std::size_t start = 0; start + w <= x.size(); start += w) {
+    const double rs = window_rs(x.subspan(start, w));
+    if (rs > 0.0) {
+      sum_rs += rs;
+      ++*n_windows;
+    }
+  }
+  RsPoint p;
+  p.window = w;
+  p.mean_rs =
+      *n_windows > 0 ? sum_rs / static_cast<double>(*n_windows) : 0.0;
+  return p;
+}
+
 }  // namespace
 
 RsAnalysis rs_analysis(std::span<const double> x) {
   if (x.size() < 32)
     throw std::invalid_argument("rs_analysis: series too short");
 
-  RsAnalysis out;
   // Log-spaced windows from 8 to n/4, about 6 per decade.
+  std::vector<std::size_t> windows;
   std::size_t last = 0;
   for (double lg = std::log10(8.0);; lg += 1.0 / 6.0) {
     const auto w = static_cast<std::size_t>(std::llround(std::pow(10.0, lg)));
     if (w > x.size() / 4) break;
     if (w == last) continue;
     last = w;
+    windows.push_back(w);
+  }
 
-    double sum_rs = 0.0;
-    std::size_t n_windows = 0;
-    for (std::size_t start = 0; start + w <= x.size(); start += w) {
-      const double rs = window_rs(x.subspan(start, w));
-      if (rs > 0.0) {
-        sum_rs += rs;
-        ++n_windows;
-      }
-    }
-    if (n_windows > 0) {
-      out.points.push_back(
-          {w, sum_rs / static_cast<double>(n_windows)});
-    }
+  // Window sizes are independent: compute each in parallel into its own
+  // slot, then collect in size order so the output never depends on the
+  // schedule.
+  std::vector<RsPoint> slots(windows.size());
+  std::vector<std::size_t> n_windows(windows.size(), 0);
+  par::parallel_for(0, windows.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i)
+      slots[i] = rs_point_at_window(x, windows[i], &n_windows[i]);
+  });
+
+  RsAnalysis out;
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    if (n_windows[i] > 0) out.points.push_back(slots[i]);
   }
   if (out.points.size() < 3)
     throw std::invalid_argument("rs_analysis: not enough window sizes");

@@ -3,7 +3,7 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "src/stats/counting.hpp"
+#include "src/par/parallel.hpp"
 #include "src/stats/descriptive.hpp"
 
 namespace wan::stats {
@@ -11,9 +11,14 @@ namespace wan::stats {
 std::vector<std::size_t> default_aggregation_levels(std::size_t n,
                                                     std::size_t per_decade,
                                                     std::size_t min_blocks) {
+  // Clamp to >= 2 blocks per level: variance_time_plot needs at least two
+  // blocks to form a variance, so levels beyond n/2 would only be
+  // generated to be skipped.
+  const std::size_t eff_blocks = min_blocks < 2 ? 2 : min_blocks;
   std::vector<std::size_t> levels;
-  if (n < 2 * min_blocks) return levels;
-  const double m_max = static_cast<double>(n) / static_cast<double>(min_blocks);
+  if (n < 2 * eff_blocks) return levels;
+  const double m_max =
+      static_cast<double>(n) / static_cast<double>(eff_blocks);
   const double step = 1.0 / static_cast<double>(per_decade);
   double lg = 0.0;
   std::size_t last = 0;
@@ -28,6 +33,43 @@ std::vector<std::size_t> default_aggregation_levels(std::size_t n,
   }
   return levels;
 }
+
+namespace {
+
+// One point of the plot, computed with a streaming block-mean
+// accumulator: two passes over the base series (block means, then squared
+// deviations) in the same summation order as the old
+// aggregate_mean + variance_population pair, so results are unchanged —
+// but without materializing the aggregated series.
+VtPoint vt_point_at_level(std::span<const double> counts, std::size_t m,
+                          double norm) {
+  const double dm = static_cast<double>(m);
+  std::size_t n_blocks = 0;
+  double sum_means = 0.0;
+  for (std::size_t i = 0; i + m <= counts.size(); i += m) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < m; ++j) s += counts[i + j];
+    sum_means += s / dm;
+    ++n_blocks;
+  }
+  const double mean_agg = sum_means / static_cast<double>(n_blocks);
+  double ss = 0.0;
+  for (std::size_t i = 0; i + m <= counts.size(); i += m) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < m; ++j) s += counts[i + j];
+    const double dev = s / dm - mean_agg;
+    ss += dev * dev;
+  }
+
+  VtPoint p;
+  p.m = m;
+  p.n_blocks = n_blocks;
+  p.variance = ss / static_cast<double>(n_blocks);
+  p.normalized = p.variance / norm;
+  return p;
+}
+
+}  // namespace
 
 VarianceTimePlot variance_time_plot(std::span<const double> counts,
                                     std::span<const std::size_t> levels) {
@@ -45,16 +87,20 @@ VarianceTimePlot variance_time_plot(std::span<const double> counts,
   const double norm =
       plot.base_mean != 0.0 ? plot.base_mean * plot.base_mean : 1.0;
 
+  std::vector<std::size_t> usable;
+  usable.reserve(levels.size());
   for (std::size_t m : levels) {
     if (m == 0 || counts.size() / m < 2) continue;
-    const auto agg = aggregate_mean(counts, m);
-    VtPoint p;
-    p.m = m;
-    p.n_blocks = agg.size();
-    p.variance = variance_population(agg);
-    p.normalized = p.variance / norm;
-    plot.points.push_back(p);
+    usable.push_back(m);
   }
+
+  // Levels are independent; each task reads the shared base series and
+  // writes only its own slot, combined in level order.
+  plot.points.resize(usable.size());
+  par::parallel_for(0, usable.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i)
+      plot.points[i] = vt_point_at_level(counts, usable[i], norm);
+  });
   return plot;
 }
 

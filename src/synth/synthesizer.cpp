@@ -1,6 +1,10 @@
 #include "src/synth/synthesizer.hpp"
 
 #include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "src/par/parallel.hpp"
 
 namespace wan::synth {
 
@@ -8,6 +12,30 @@ ConnDatasetConfig::ConnDatasetConfig() {
   rlogin.protocol = trace::Protocol::kRlogin;
   rlogin.conns_per_day = 1200.0;
 }
+
+namespace {
+
+// Runs one independent per-source generator per task and concatenates
+// the task outputs in task order. Each task owns a pre-derived child Rng
+// stream, so the records it emits — and, after the ordered
+// concatenation, the whole assembled trace — are identical to a serial
+// run no matter how tasks are scheduled.
+template <class Trace>
+void generate_sources_into(
+    std::vector<std::function<void(Trace&)>>& tasks, Trace& out) {
+  std::vector<Trace> parts(tasks.size());
+  par::parallel_for(0, tasks.size(), 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) tasks[i](parts[i]);
+  });
+  std::size_t total = out.size();
+  for (const Trace& p : parts) total += p.size();
+  out.reserve(total);
+  for (const Trace& p : parts) {
+    for (const auto& rec : p.records()) out.add(rec);
+  }
+}
+
+}  // namespace
 
 trace::ConnTrace synthesize_conn_trace(const ConnDatasetConfig& config) {
   rng::Rng root(config.seed);
@@ -17,59 +45,68 @@ trace::ConnTrace synthesize_conn_trace(const ConnDatasetConfig& config) {
 
   trace::ConnTrace out(config.name, t0, t1);
 
-  {
-    rng::Rng r = root.child("telnet");
-    const TelnetSource src(config.telnet);
-    const auto conns =
-        src.generate_connections(r, t0, t1, InterarrivalScheme::kTcplib);
-    src.append_conn_records(r, conns, hosts, out);
-  }
-  {
-    rng::Rng r = root.child("rlogin");
-    const TelnetSource src(config.rlogin);
-    const auto conns =
-        src.generate_connections(r, t0, t1, InterarrivalScheme::kTcplib);
-    src.append_conn_records(r, conns, hosts, out);
-  }
-  std::uint64_t next_session = 1;
-  {
-    rng::Rng r = root.child("ftp");
-    const FtpSource src(config.ftp);
-    src.generate(r, t0, t1, hosts, &next_session, out);
-  }
-  if (config.include_weathermap) {
-    rng::Rng r = root.child("weathermap");
-    WeatherMapConfig wm = config.weathermap;
-    wm.local_host = 0;
-    // The weather server is an obscure host: the *last* remote id, whose
-    // Zipf popularity is negligible. (Using a popular remote would mix
-    // user FTP traffic into the same host pair and blur the periodic
-    // signature the detector looks for.)
-    wm.remote_host = config.n_local_hosts + config.n_remote_hosts - 1;
-    const WeatherMapSource src(wm);
-    src.generate(r, t0, t1, &next_session, out);
-  }
-  {
-    rng::Rng r = root.child("smtp");
-    const SmtpSource src(config.smtp);
-    src.generate(r, t0, t1, hosts, out);
-  }
-  {
-    rng::Rng r = root.child("nntp");
-    const NntpSource src(config.nntp);
-    src.generate(r, t0, t1, hosts, out);
-  }
-  {
-    rng::Rng r = root.child("www");
-    const WwwSource src(config.www);
-    src.generate(r, t0, t1, hosts, out);
-  }
-  {
-    rng::Rng r = root.child("x11");
-    const X11Source src(config.x11);
-    src.generate(r, t0, t1, hosts, out);
-  }
+  // Derive the per-source streams up front in the fixed order the serial
+  // code always used; child() advances the root stream, so this order —
+  // not the task schedule — determines every source's randomness.
+  rng::Rng r_telnet = root.child("telnet");
+  rng::Rng r_rlogin = root.child("rlogin");
+  rng::Rng r_ftp = root.child("ftp");
+  rng::Rng r_weather = config.include_weathermap ? root.child("weathermap")
+                                                 : rng::Rng(0);
+  rng::Rng r_smtp = root.child("smtp");
+  rng::Rng r_nntp = root.child("nntp");
+  rng::Rng r_www = root.child("www");
+  rng::Rng r_x11 = root.child("x11");
 
+  std::vector<std::function<void(trace::ConnTrace&)>> tasks;
+  tasks.push_back([&, r_telnet](trace::ConnTrace& part) mutable {
+    const TelnetSource src(config.telnet);
+    const auto conns = src.generate_connections(r_telnet, t0, t1,
+                                                InterarrivalScheme::kTcplib);
+    src.append_conn_records(r_telnet, conns, hosts, part);
+  });
+  tasks.push_back([&, r_rlogin](trace::ConnTrace& part) mutable {
+    const TelnetSource src(config.rlogin);
+    const auto conns = src.generate_connections(r_rlogin, t0, t1,
+                                                InterarrivalScheme::kTcplib);
+    src.append_conn_records(r_rlogin, conns, hosts, part);
+  });
+  // FTP and the weather-map job share the session-id counter, so they
+  // stay sequential inside one task.
+  tasks.push_back([&, r_ftp, r_weather](trace::ConnTrace& part) mutable {
+    std::uint64_t next_session = 1;
+    const FtpSource src(config.ftp);
+    src.generate(r_ftp, t0, t1, hosts, &next_session, part);
+    if (config.include_weathermap) {
+      WeatherMapConfig wm = config.weathermap;
+      wm.local_host = 0;
+      // The weather server is an obscure host: the *last* remote id, whose
+      // Zipf popularity is negligible. (Using a popular remote would mix
+      // user FTP traffic into the same host pair and blur the periodic
+      // signature the detector looks for.)
+      wm.remote_host = config.n_local_hosts + config.n_remote_hosts - 1;
+      const WeatherMapSource wsrc(wm);
+      wsrc.generate(r_weather, t0, t1, &next_session, part);
+    }
+  });
+  tasks.push_back([&, r_smtp](trace::ConnTrace& part) mutable {
+    const SmtpSource src(config.smtp);
+    src.generate(r_smtp, t0, t1, hosts, part);
+  });
+  tasks.push_back([&, r_nntp](trace::ConnTrace& part) mutable {
+    const NntpSource src(config.nntp);
+    src.generate(r_nntp, t0, t1, hosts, part);
+  });
+  tasks.push_back([&, r_www](trace::ConnTrace& part) mutable {
+    const WwwSource src(config.www);
+    src.generate(r_www, t0, t1, hosts, part);
+  });
+  tasks.push_back([&, r_x11](trace::ConnTrace& part) mutable {
+    const X11Source src(config.x11);
+    src.generate(r_x11, t0, t1, hosts, part);
+  });
+
+  generate_sources_into(tasks, out);
   out.sort_by_start();
   return out;
 }
@@ -83,66 +120,92 @@ trace::PacketTrace synthesize_packet_trace(const PacketDatasetConfig& config) {
   trace::PacketTrace out(config.name, t0, t1);
   std::uint32_t next_conn_id = 1;
 
+  // Child streams in the serial derivation order (see
+  // synthesize_conn_trace).
+  rng::Rng r_telnet = root.child("telnet");
+  rng::Rng r_ftp = root.child("ftp");
+  rng::Rng r_smtp = root.child("smtp");
+  rng::Rng r_nntp = root.child("nntp");
+  rng::Rng r_www = root.child("www");
+  rng::Rng r_fill = root.child("fill");
+  rng::Rng r_udp = config.tcp_only ? rng::Rng(0) : root.child("udp");
+
   // TELNET: FULL-TEL originator packets plus the responder model
   // (echoes and command-output bursts) so the aggregate trace carries
-  // both directions.
+  // both directions. Runs concurrently with the bulk connection
+  // generators; its packets keep the first conn-id block.
+  trace::PacketTrace telnet_pkts;
+  std::size_t n_telnet_conns = 0;
+  trace::ConnTrace ftp_part, smtp_part, nntp_part, www_part;
   {
-    rng::Rng r = root.child("telnet");
-    TelnetConfig tc = config.telnet;
-    tc.conns_per_day *= config.volume_scale;
-    const TelnetSource src(tc);
-    const auto conns =
-        src.generate_connections(r, t0, t1, InterarrivalScheme::kTcplib);
-    const auto telnet_pkts = src.to_packet_trace_with_responder(
-        r, conns, t0, t1, ResponderConfig{}, next_conn_id);
-    next_conn_id += static_cast<std::uint32_t>(conns.size());
-    for (const auto& p : telnet_pkts.records()) out.add(p);
-  }
-
-  // Bulk protocols: generate connection records, then packetize.
-  {
-    trace::ConnTrace bulk("bulk", t0, t1);
-    {
-      rng::Rng r = root.child("ftp");
+    std::vector<std::function<void()>> tasks;
+    tasks.push_back([&, r_telnet]() mutable {
+      TelnetConfig tc = config.telnet;
+      tc.conns_per_day *= config.volume_scale;
+      const TelnetSource src(tc);
+      const auto conns = src.generate_connections(
+          r_telnet, t0, t1, InterarrivalScheme::kTcplib);
+      n_telnet_conns = conns.size();
+      telnet_pkts = src.to_packet_trace_with_responder(
+          r_telnet, conns, t0, t1, ResponderConfig{}, /*next_conn_id=*/1);
+    });
+    tasks.push_back([&, r_ftp]() mutable {
       FtpConfig fc = config.ftp;
       fc.sessions_per_day *= config.volume_scale;
       const FtpSource src(fc);
       std::uint64_t next_session = 1;
-      src.generate(r, t0, t1, hosts, &next_session, bulk);
-    }
-    {
-      rng::Rng r = root.child("smtp");
+      ftp_part = trace::ConnTrace("bulk", t0, t1);
+      src.generate(r_ftp, t0, t1, hosts, &next_session, ftp_part);
+    });
+    tasks.push_back([&, r_smtp]() mutable {
       SmtpConfig sc = config.smtp;
       sc.conns_per_day *= config.volume_scale;
       const SmtpSource src(sc);
-      src.generate(r, t0, t1, hosts, bulk);
-    }
-    {
-      rng::Rng r = root.child("nntp");
+      smtp_part = trace::ConnTrace("bulk", t0, t1);
+      src.generate(r_smtp, t0, t1, hosts, smtp_part);
+    });
+    tasks.push_back([&, r_nntp]() mutable {
       NntpConfig nc = config.nntp;
       nc.conns_per_day *= config.volume_scale;
       const NntpSource src(nc);
-      src.generate(r, t0, t1, hosts, bulk);
-    }
-    {
-      rng::Rng r = root.child("www");
+      nntp_part = trace::ConnTrace("bulk", t0, t1);
+      src.generate(r_nntp, t0, t1, hosts, nntp_part);
+    });
+    tasks.push_back([&, r_www]() mutable {
       WwwConfig wc = config.www;
       wc.sessions_per_day *= config.volume_scale;
       const WwwSource src(wc);
-      src.generate(r, t0, t1, hosts, bulk);
+      www_part = trace::ConnTrace("bulk", t0, t1);
+      src.generate(r_www, t0, t1, hosts, www_part);
+    });
+    par::parallel_for(0, tasks.size(), 1, [&](std::size_t b, std::size_t e) {
+      for (std::size_t i = b; i < e; ++i) tasks[i]();
+    });
+  }
+
+  for (const auto& p : telnet_pkts.records()) out.add(p);
+  next_conn_id += static_cast<std::uint32_t>(n_telnet_conns);
+
+  // Bulk protocols: concatenate the per-protocol connection records in
+  // the serial order, then packetize.
+  {
+    trace::ConnTrace bulk("bulk", t0, t1);
+    bulk.reserve(ftp_part.size() + smtp_part.size() + nntp_part.size() +
+                 www_part.size());
+    for (const trace::ConnTrace* part :
+         {&ftp_part, &smtp_part, &nntp_part, &www_part}) {
+      for (const auto& rec : part->records()) bulk.add(rec);
     }
-    rng::Rng r = root.child("fill");
-    fill_bulk_packets(r, bulk, config.fill, &next_conn_id, out);
+    fill_bulk_packets(r_fill, bulk, config.fill, &next_conn_id, out);
   }
 
   if (!config.tcp_only) {
-    rng::Rng r = root.child("udp");
     DnsConfig dc = config.dns;
     dc.queries_per_hour *= config.volume_scale;
-    fill_dns_packets(r, dc, t0, t1, &next_conn_id, out);
+    fill_dns_packets(r_udp, dc, t0, t1, &next_conn_id, out);
     MboneConfig mc = config.mbone;
     mc.sessions_per_hour *= config.volume_scale;
-    fill_mbone_packets(r, mc, t0, t1, &next_conn_id, out);
+    fill_mbone_packets(r_udp, mc, t0, t1, &next_conn_id, out);
   }
 
   // Drop packets that drifted past the capture window and sort.

@@ -30,6 +30,26 @@ TEST(VarianceTime, DefaultLevelsAreLogSpaced) {
   EXPECT_LE(levels.back(), 100000u / 8u);
 }
 
+TEST(VarianceTime, DefaultLevelsNeverGenerateSkippedLevels) {
+  // Regression: with min_blocks < 2 the generator used to emit a final
+  // level with fewer than 2 blocks, which variance_time_plot then
+  // silently dropped. Every generated level must be usable.
+  for (std::size_t n : {16u, 20u, 33u, 100u, 1000u}) {
+    for (std::size_t min_blocks : {1u, 2u, 8u}) {
+      const auto levels = default_aggregation_levels(n, 5, min_blocks);
+      for (std::size_t m : levels) {
+        ASSERT_GE(m, 1u);
+        EXPECT_GE(n / m, 2u) << "n=" << n << " min_blocks=" << min_blocks
+                             << " m=" << m;
+      }
+    }
+  }
+  // And the plot keeps every default level — none are skipped.
+  const auto x = white_noise(100, 7);
+  const auto vt = variance_time_plot(x);
+  EXPECT_EQ(vt.points.size(), default_aggregation_levels(100).size());
+}
+
 TEST(VarianceTime, IidSeriesHasSlopeMinusOne) {
   // The Poisson/SRD signature: variance of the aggregated process decays
   // as 1/M -> log-log slope -1, Hurst 1/2.
