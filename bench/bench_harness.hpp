@@ -31,6 +31,10 @@ struct BenchResult {
   double speedup = 1.0;       ///< serial_ms / parallel_ms
   double throughput = 0.0;    ///< items per second at the best time
   bool identical = true;      ///< parallel output matched serial output
+  /// Extra key → raw-JSON-value pairs appended verbatim to the record
+  /// (e.g. {"peak_rss_kb", "12345"} or {"rss_bounded", "true"}), for
+  /// benches that measure more than wall time.
+  std::vector<std::pair<std::string, std::string>> extra;
 };
 
 /// Best-of-`reps` wall time of fn, in milliseconds.
@@ -164,7 +168,10 @@ class Harness {
       << ", \"parallel_ms\": " << r.parallel_ms
       << ", \"speedup\": " << r.speedup
       << ", \"throughput_per_s\": " << r.throughput
-      << ", \"identical\": " << (r.identical ? "true" : "false") << "}";
+      << ", \"identical\": " << (r.identical ? "true" : "false");
+    for (const auto& [key, value] : r.extra)
+      j << ", \"" << key << "\": " << value;
+    j << "}";
     return j.str();
   }
 

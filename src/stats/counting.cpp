@@ -7,17 +7,23 @@ namespace wan::stats {
 
 std::vector<double> bin_counts(std::span<const double> times, double t0,
                                double t1, double bin) {
+  BinCountsAccumulator acc(t0, t1, bin);
+  acc.add(times);
+  return acc.take();
+}
+
+BinCountsAccumulator::BinCountsAccumulator(double t0, double t1, double bin)
+    : t0_(t0), t1_(t1), bin_(bin) {
   if (!(bin > 0.0)) throw std::invalid_argument("bin_counts: bin must be > 0");
   if (!(t1 > t0)) throw std::invalid_argument("bin_counts: t1 must be > t0");
-  const auto nbins = static_cast<std::size_t>(std::ceil((t1 - t0) / bin));
-  std::vector<double> counts(nbins, 0.0);
-  for (double t : times) {
-    if (t < t0 || t >= t1) continue;
-    auto idx = static_cast<std::size_t>((t - t0) / bin);
-    if (idx >= nbins) idx = nbins - 1;  // guard float edge at t1
-    counts[idx] += 1.0;
-  }
-  return counts;
+  counts_.assign(static_cast<std::size_t>(std::ceil((t1 - t0) / bin)), 0.0);
+}
+
+void BinCountsAccumulator::add(double t) {
+  if (t < t0_ || t >= t1_) return;
+  auto idx = static_cast<std::size_t>((t - t0_) / bin_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // float edge at t1
+  counts_[idx] += 1.0;
 }
 
 std::vector<double> aggregate_mean(std::span<const double> x, std::size_t m) {
@@ -59,23 +65,29 @@ double BurstLull::mean_lull_bins() const {
 }
 
 BurstLull burst_lull_structure(std::span<const double> counts) {
-  BurstLull out;
-  std::size_t run = 0;
-  bool occupied = false;
-  for (double c : counts) {
-    const bool occ = c > 0.0;
-    if (run == 0) {
-      occupied = occ;
-      run = 1;
-    } else if (occ == occupied) {
-      ++run;
-    } else {
-      (occupied ? out.burst_lengths : out.lull_lengths).push_back(run);
-      occupied = occ;
-      run = 1;
-    }
+  BurstLullAccumulator acc;
+  for (double c : counts) acc.push(c);
+  return acc.finish();
+}
+
+void BurstLullAccumulator::push(double count) {
+  const bool occ = count > 0.0;
+  if (run_ == 0) {
+    occupied_ = occ;
+    run_ = 1;
+  } else if (occ == occupied_) {
+    ++run_;
+  } else {
+    (occupied_ ? closed_.burst_lengths : closed_.lull_lengths).push_back(run_);
+    occupied_ = occ;
+    run_ = 1;
   }
-  if (run > 0) (occupied ? out.burst_lengths : out.lull_lengths).push_back(run);
+}
+
+BurstLull BurstLullAccumulator::finish() const {
+  BurstLull out = closed_;
+  if (run_ > 0)
+    (occupied_ ? out.burst_lengths : out.lull_lengths).push_back(run_);
   return out;
 }
 

@@ -14,6 +14,33 @@ namespace wan::stats {
 std::vector<double> bin_counts(std::span<const double> times, double t0,
                                double t1, double bin);
 
+/// Streaming sink form of bin_counts: feed event times chunk by chunk
+/// (any order) and take the finished count series. Memory is bounded by
+/// the number of bins — duration/bin — never by the number of events,
+/// and the result is identical to bin_counts on the concatenated times
+/// (bin increments are exact integer adds, so order cannot matter).
+class BinCountsAccumulator {
+ public:
+  /// Throws std::invalid_argument unless bin > 0 and t1 > t0.
+  BinCountsAccumulator(double t0, double t1, double bin);
+
+  void add(double t);
+  void add(std::span<const double> times) {
+    for (double t : times) add(t);
+  }
+
+  std::size_t bins() const { return counts_.size(); }
+  const std::vector<double>& counts() const { return counts_; }
+  /// Moves the counts out; the accumulator is empty afterwards.
+  std::vector<double> take() { return std::move(counts_); }
+
+ private:
+  double t0_ = 0.0;
+  double t1_ = 0.0;
+  double bin_ = 1.0;
+  std::vector<double> counts_;
+};
+
 /// Aggregates a count series by non-overlapping blocks of m, *averaging*
 /// within each block (the paper's "smoothed" process of aggregation
 /// level M). A trailing partial block is dropped.
@@ -33,5 +60,22 @@ struct BurstLull {
 };
 
 BurstLull burst_lull_structure(std::span<const double> counts);
+
+/// Online form of burst_lull_structure: push bin counts one at a time;
+/// finish() closes the open run. State between pushes is O(1); the
+/// result holds one length per run. burst_lull_structure delegates here,
+/// so streamed and in-memory analyses agree exactly.
+class BurstLullAccumulator {
+ public:
+  void push(double count);
+  /// Snapshot including the currently open run; push() may continue
+  /// afterwards (finish does not mutate).
+  BurstLull finish() const;
+
+ private:
+  BurstLull closed_;
+  std::size_t run_ = 0;
+  bool occupied_ = false;
+};
 
 }  // namespace wan::stats

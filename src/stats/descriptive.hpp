@@ -53,4 +53,32 @@ Summary summarize(std::span<const double> x);
 /// sequence. times must be nondecreasing.
 std::vector<double> interarrivals(std::span<const double> times);
 
+/// Single-pass Welford moment accumulator for streamed data: mean,
+/// variance, extrema in O(1) state. Welford's recurrence is numerically
+/// stabler than the two-pass span functions but groups the floating-point
+/// work differently, so its variance agrees with variance(span) only to
+/// rounding — use it where the data cannot be held, not where bitwise
+/// reproduction of the span results is required.
+class MomentAccumulator {
+ public:
+  void push(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Unbiased (n-1) variance; 0 if n < 2.
+  double variance_sample() const;
+  /// Population (n) variance; 0 if empty.
+  double variance_population() const;
+  double stddev() const;  ///< sqrt of the sample variance
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
 }  // namespace wan::stats

@@ -36,35 +36,18 @@ std::vector<std::size_t> default_aggregation_levels(std::size_t n,
 
 namespace {
 
-// One point of the plot, computed with a streaming block-mean
-// accumulator: two passes over the base series (block means, then squared
-// deviations) in the same summation order as the old
-// aggregate_mean + variance_population pair, so results are unchanged —
-// but without materializing the aggregated series.
+// One point of the plot via the shared single-pass level accumulator —
+// the identical arithmetic VtAccumulator::push applies per level, so a
+// streamed pass reproduces the span results bit-for-bit.
 VtPoint vt_point_at_level(std::span<const double> counts, std::size_t m,
                           double norm) {
-  const double dm = static_cast<double>(m);
-  std::size_t n_blocks = 0;
-  double sum_means = 0.0;
-  for (std::size_t i = 0; i + m <= counts.size(); i += m) {
-    double s = 0.0;
-    for (std::size_t j = 0; j < m; ++j) s += counts[i + j];
-    sum_means += s / dm;
-    ++n_blocks;
-  }
-  const double mean_agg = sum_means / static_cast<double>(n_blocks);
-  double ss = 0.0;
-  for (std::size_t i = 0; i + m <= counts.size(); i += m) {
-    double s = 0.0;
-    for (std::size_t j = 0; j < m; ++j) s += counts[i + j];
-    const double dev = s / dm - mean_agg;
-    ss += dev * dev;
-  }
+  VtLevelAccumulator acc(m);
+  for (double x : counts) acc.push(x);
 
   VtPoint p;
   p.m = m;
-  p.n_blocks = n_blocks;
-  p.variance = ss / static_cast<double>(n_blocks);
+  p.n_blocks = acc.n_blocks();
+  p.variance = acc.variance();
   p.normalized = p.variance / norm;
   return p;
 }
@@ -101,6 +84,31 @@ VarianceTimePlot variance_time_plot(std::span<const double> counts,
     for (std::size_t i = b; i < e; ++i)
       plot.points[i] = vt_point_at_level(counts, usable[i], norm);
   });
+  return plot;
+}
+
+VtAccumulator::VtAccumulator(std::span<const std::size_t> levels) {
+  levels_.reserve(levels.size());
+  for (std::size_t m : levels) {
+    if (m == 0) continue;
+    levels_.emplace_back(m);
+  }
+}
+
+VarianceTimePlot VtAccumulator::finish() const {
+  VarianceTimePlot plot;
+  plot.base_mean = n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_);
+  const double norm =
+      plot.base_mean != 0.0 ? plot.base_mean * plot.base_mean : 1.0;
+  for (const VtLevelAccumulator& lvl : levels_) {
+    if (lvl.n_blocks() < 2) continue;  // the span version's usable filter
+    VtPoint p;
+    p.m = lvl.m();
+    p.n_blocks = lvl.n_blocks();
+    p.variance = lvl.variance();
+    p.normalized = p.variance / norm;
+    plot.points.push_back(p);
+  }
   return plot;
 }
 

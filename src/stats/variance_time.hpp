@@ -50,4 +50,72 @@ std::vector<std::size_t> default_aggregation_levels(std::size_t n,
 VarianceTimePlot variance_time_plot(std::span<const double> counts,
                                     std::span<const std::size_t> levels = {});
 
+/// One aggregation level of a streamed variance-time analysis: folds base
+/// observations into blocks of m and maintains Welford moments of the
+/// completed block means. Both variance_time_plot and VtAccumulator feed
+/// every observation through this exact code, which is what makes the
+/// streamed and in-memory plots bit-identical.
+class VtLevelAccumulator {
+ public:
+  VtLevelAccumulator() = default;
+  explicit VtLevelAccumulator(std::size_t m) : m_(m) {}
+
+  void push(double x) {
+    block_sum_ += x;
+    if (++in_block_ == m_) {
+      push_block_mean(block_sum_ / static_cast<double>(m_));
+      block_sum_ = 0.0;
+      in_block_ = 0;
+    }
+  }
+
+  std::size_t m() const { return m_; }
+  std::size_t n_blocks() const { return n_blocks_; }
+  /// Population variance of the completed block means; 0 if no blocks.
+  double variance() const {
+    return n_blocks_ == 0 ? 0.0 : m2_ / static_cast<double>(n_blocks_);
+  }
+
+ private:
+  void push_block_mean(double bm) {
+    ++n_blocks_;
+    const double delta = bm - mean_;
+    mean_ += delta / static_cast<double>(n_blocks_);
+    m2_ += delta * (bm - mean_);
+  }
+
+  std::size_t m_ = 1;
+  double block_sum_ = 0.0;
+  std::size_t in_block_ = 0;
+  std::size_t n_blocks_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Multi-level streaming variance-time analysis: one pass over the count
+/// series updates every aggregation level at once, in O(#levels) state.
+/// finish() yields the same plot variance_time_plot produces on the full
+/// series (levels with fewer than 2 completed blocks are dropped, exactly
+/// like the span version's usable-level filter).
+class VtAccumulator {
+ public:
+  /// Levels must be the final choice (e.g. default_aggregation_levels of
+  /// the known series length) — a streamed pass cannot revisit data.
+  explicit VtAccumulator(std::span<const std::size_t> levels);
+
+  void push(double x) {
+    sum_ += x;
+    ++n_;
+    for (VtLevelAccumulator& lvl : levels_) lvl.push(x);
+  }
+
+  std::size_t count() const { return n_; }
+  VarianceTimePlot finish() const;
+
+ private:
+  std::vector<VtLevelAccumulator> levels_;
+  double sum_ = 0.0;
+  std::size_t n_ = 0;
+};
+
 }  // namespace wan::stats

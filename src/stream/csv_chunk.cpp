@@ -1,0 +1,65 @@
+#include "src/stream/csv_chunk.hpp"
+
+#include <stdexcept>
+
+#include "src/trace/csv_io.hpp"
+
+namespace wan::stream {
+
+ChunkedCsvWriter::ChunkedCsvWriter(const std::string& path,
+                                   const StreamInfo& info)
+    : os_(path) {
+  if (!os_)
+    throw std::runtime_error("csv_chunk: cannot open for write: " + path);
+  trace::write_packet_csv_header(os_, info.name, info.t_begin, info.t_end);
+}
+
+void ChunkedCsvWriter::write(const trace::PacketRecord& r) {
+  trace::write_packet_csv_row(os_, r);
+  ++count_;
+}
+
+void ChunkedCsvWriter::write(std::span<const trace::PacketRecord> records) {
+  for (const trace::PacketRecord& r : records) write(r);
+}
+
+void ChunkedCsvWriter::close() {
+  os_.flush();
+  if (!os_) throw std::runtime_error("csv_chunk: write failed on close");
+  os_.close();
+}
+
+CsvChunkSource::CsvChunkSource(const std::string& path,
+                               std::size_t chunk_size)
+    : is_(path), chunk_size_(chunk_size) {
+  if (!is_)
+    throw std::runtime_error("csv_chunk: cannot open for read: " + path);
+  const auto [t_begin, t_end] = trace::read_packet_csv_header(is_);
+  if (t_end <= t_begin)
+    throw std::runtime_error(
+        "csv_chunk: file lacks t_begin/t_end metadata; a single forward "
+        "pass cannot recover the trace window: " + path);
+  info_ = {path, t_begin, t_end};
+  data_offset_ = is_.tellg();
+  line_no_ = 2;  // metadata + column header consumed
+}
+
+bool CsvChunkSource::next(std::vector<trace::PacketRecord>& chunk) {
+  chunk.clear();
+  std::string line;
+  while (chunk.size() < chunk_size_ && std::getline(is_, line)) {
+    ++line_no_;
+    if (line.empty()) continue;
+    chunk.push_back(trace::parse_packet_csv_row(line, line_no_));
+  }
+  return !chunk.empty();
+}
+
+void CsvChunkSource::reset() {
+  is_.clear();
+  is_.seekg(data_offset_);
+  if (!is_) throw std::runtime_error("csv_chunk: reset seek failed");
+  line_no_ = 2;
+}
+
+}  // namespace wan::stream

@@ -1,0 +1,57 @@
+// Chunked access to the packet-CSV format, built on the row helpers in
+// src/trace/csv_io.hpp so a streamed file is byte-identical to one
+// produced by write_csv_file.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <string>
+
+#include "src/stream/chunk.hpp"
+
+namespace wan::stream {
+
+class ChunkedCsvWriter {
+ public:
+  /// Opens `path` and writes the metadata + column header immediately.
+  /// Throws std::runtime_error if the file cannot be opened.
+  ChunkedCsvWriter(const std::string& path, const StreamInfo& info);
+
+  void write(const trace::PacketRecord& r);
+  void write(std::span<const trace::PacketRecord> records);
+
+  std::uint64_t count() const { return count_; }
+
+  /// Flushes; throws on I/O failure.
+  void close();
+
+ private:
+  std::ofstream os_;
+  std::uint64_t count_ = 0;
+};
+
+/// Streams a packet-CSV file chunk by chunk. Unlike read_packet_csv,
+/// which can recover t_end from the maximum record time, a single
+/// forward pass cannot — so the file must carry the metadata comment
+/// with t_end > t_begin (every file this repo writes does).
+class CsvChunkSource final : public PacketChunkSource {
+ public:
+  /// Throws std::runtime_error on open failure, a missing/degenerate
+  /// metadata line, or (lazily, from next()) a malformed row.
+  explicit CsvChunkSource(const std::string& path,
+                          std::size_t chunk_size = kDefaultChunkSize);
+
+  const StreamInfo& info() const override { return info_; }
+  bool next(std::vector<trace::PacketRecord>& chunk) override;
+  void reset() override;
+
+ private:
+  std::ifstream is_;
+  StreamInfo info_;
+  std::streampos data_offset_;
+  std::size_t line_no_ = 0;
+  std::size_t chunk_size_;
+};
+
+}  // namespace wan::stream

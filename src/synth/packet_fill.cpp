@@ -2,28 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "src/dist/lognormal.hpp"
+#include "src/par/parallel.hpp"
 #include "src/sim/tcp.hpp"
 
 namespace wan::synth {
 
 namespace {
-
-bool is_bulk(trace::Protocol p) {
-  using trace::Protocol;
-  switch (p) {
-    case Protocol::kFtpData:
-    case Protocol::kFtpCtrl:
-    case Protocol::kSmtp:
-    case Protocol::kNntp:
-    case Protocol::kWww:
-    case Protocol::kX11:
-      return true;
-    default:
-      return false;
-  }
-}
 
 // Paces n packets across [start, start+duration) with jittered gaps.
 void pace_packets(rng::Rng& rng, double start, double duration,
@@ -75,43 +62,117 @@ void pace_packets_tcp(const PacketFillConfig& config, double start,
 
 }  // namespace
 
+bool is_bulk_protocol(trace::Protocol p) noexcept {
+  using trace::Protocol;
+  switch (p) {
+    case Protocol::kFtpData:
+    case Protocol::kFtpCtrl:
+    case Protocol::kSmtp:
+    case Protocol::kNntp:
+    case Protocol::kWww:
+    case Protocol::kX11:
+      return true;
+    default:
+      return false;
+  }
+}
+
+rng::Rng bulk_conn_rng(std::uint64_t stream_key,
+                       std::uint32_t conn_id) noexcept {
+  // Golden-ratio multiplier; +1 keeps conn 0 from collapsing onto the
+  // raw key.
+  return rng::Rng(stream_key ^
+                  (0x9e3779b97f4a7c15ULL * (std::uint64_t{conn_id} + 1)));
+}
+
+void fill_conn_packets(rng::Rng& rng, const trace::ConnRecord& c,
+                       const PacketFillConfig& config, std::uint32_t id,
+                       trace::PacketTrace& out) {
+  const double duration = std::max(c.duration, 0.05);
+
+  const auto pkts_of = [&](std::uint64_t bytes) {
+    const auto n = static_cast<std::size_t>(
+        std::ceil(static_cast<double>(bytes) / config.data_packet_bytes));
+    return std::min(std::max<std::size_t>(n, 1), config.max_packets_per_conn);
+  };
+
+  const std::size_t n_orig = pkts_of(c.bytes_orig);
+  const std::size_t n_resp = pkts_of(c.bytes_resp);
+  const auto per_pkt_orig = static_cast<std::uint16_t>(std::min<double>(
+      static_cast<double>(c.bytes_orig) / static_cast<double>(n_orig),
+      65535.0));
+  const auto per_pkt_resp = static_cast<std::uint16_t>(std::min<double>(
+      static_cast<double>(c.bytes_resp) / static_cast<double>(n_resp),
+      65535.0));
+
+  pace_packets(rng, c.start, duration, n_orig, config.pacing_jitter,
+               c.protocol, id, /*from_originator=*/true,
+               std::max<std::uint16_t>(per_pkt_orig, 1), out);
+  if (config.tcp_dynamics && c.protocol == trace::Protocol::kFtpData &&
+      n_resp >= config.tcp_min_packets) {
+    pace_packets_tcp(config, c.start, duration, n_resp, c.protocol, id,
+                     std::max<std::uint16_t>(per_pkt_resp, 1), out);
+  } else {
+    pace_packets(rng, c.start, duration, n_resp, config.pacing_jitter,
+                 c.protocol, id, /*from_originator=*/false,
+                 std::max<std::uint16_t>(per_pkt_resp, 1), out);
+  }
+}
+
 void fill_bulk_packets(rng::Rng& rng, const trace::ConnTrace& conns,
                        const PacketFillConfig& config,
                        std::uint32_t* next_conn_id,
                        trace::PacketTrace& out) {
+  const std::uint64_t stream_key = rng.next_u64();
+
+  struct Item {
+    const trace::ConnRecord* conn;
+    std::uint32_t id;
+  };
+  std::vector<Item> items;
   for (const trace::ConnRecord& c : conns.records()) {
-    if (!is_bulk(c.protocol)) continue;
-    const std::uint32_t id = (*next_conn_id)++;
-    const double duration = std::max(c.duration, 0.05);
+    if (!is_bulk_protocol(c.protocol)) continue;
+    items.push_back({&c, (*next_conn_id)++});
+  }
 
-    const auto pkts_of = [&](std::uint64_t bytes) {
-      const auto n = static_cast<std::size_t>(
-          std::ceil(static_cast<double>(bytes) / config.data_packet_bytes));
-      return std::min(std::max<std::size_t>(n, 1),
-                      config.max_packets_per_conn);
-    };
-
-    const std::size_t n_orig = pkts_of(c.bytes_orig);
-    const std::size_t n_resp = pkts_of(c.bytes_resp);
-    const auto per_pkt_orig = static_cast<std::uint16_t>(std::min<double>(
-        static_cast<double>(c.bytes_orig) / static_cast<double>(n_orig),
-        65535.0));
-    const auto per_pkt_resp = static_cast<std::uint16_t>(std::min<double>(
-        static_cast<double>(c.bytes_resp) / static_cast<double>(n_resp),
-        65535.0));
-
-    pace_packets(rng, c.start, duration, n_orig, config.pacing_jitter,
-                 c.protocol, id, /*from_originator=*/true,
-                 std::max<std::uint16_t>(per_pkt_orig, 1), out);
-    if (config.tcp_dynamics && c.protocol == trace::Protocol::kFtpData &&
-        n_resp >= config.tcp_min_packets) {
-      pace_packets_tcp(config, c.start, duration, n_resp, c.protocol, id,
-                       std::max<std::uint16_t>(per_pkt_resp, 1), out);
-    } else {
-      pace_packets(rng, c.start, duration, n_resp, config.pacing_jitter,
-                   c.protocol, id, /*from_originator=*/false,
-                   std::max<std::uint16_t>(per_pkt_resp, 1), out);
+  // Each connection draws from its own bulk_conn_rng stream and fills a
+  // private part; parts concatenate in record order, so the output is
+  // identical to a serial fill for any thread count / grain.
+  std::vector<trace::PacketTrace> parts(items.size());
+  par::parallel_for(0, items.size(), 16, [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) {
+      rng::Rng conn_rng = bulk_conn_rng(stream_key, items[i].id);
+      fill_conn_packets(conn_rng, *items[i].conn, config, items[i].id,
+                        parts[i]);
     }
+  });
+
+  std::size_t total = out.size();
+  for (const trace::PacketTrace& p : parts) total += p.size();
+  out.reserve(total);
+  for (const trace::PacketTrace& p : parts) {
+    for (const trace::PacketRecord& r : p.records()) out.add(r);
+  }
+}
+
+void emit_dns_exchange(rng::Rng& rng, const DnsConfig& config, double t,
+                       double t1, std::uint32_t id, trace::PacketTrace& out) {
+  const dist::LogNormal delay(config.reply_delay_log_mean,
+                              config.reply_delay_log_sd);
+  trace::PacketRecord q;
+  q.time = t;
+  q.protocol = trace::Protocol::kDns;
+  q.conn_id = id;
+  q.from_originator = true;
+  q.payload_bytes = static_cast<std::uint16_t>(40 + rng.uniform_int(40));
+  out.add(q);
+  const double reply_t = t + delay.sample(rng);
+  if (reply_t < t1) {
+    trace::PacketRecord a = q;
+    a.time = reply_t;
+    a.from_originator = false;
+    a.payload_bytes = static_cast<std::uint16_t>(80 + rng.uniform_int(200));
+    out.add(a);
   }
 }
 
@@ -119,25 +180,25 @@ void fill_dns_packets(rng::Rng& rng, const DnsConfig& config, double t0,
                       double t1, std::uint32_t* next_conn_id,
                       trace::PacketTrace& out) {
   const double rate = config.queries_per_hour / 3600.0;
-  const dist::LogNormal delay(config.reply_delay_log_mean,
-                              config.reply_delay_log_sd);
   for (double t : poisson_arrivals(rng, rate, t0, t1)) {
-    const std::uint32_t id = (*next_conn_id)++;
-    trace::PacketRecord q;
-    q.time = t;
-    q.protocol = trace::Protocol::kDns;
-    q.conn_id = id;
-    q.from_originator = true;
-    q.payload_bytes = static_cast<std::uint16_t>(40 + rng.uniform_int(40));
-    out.add(q);
-    const double reply_t = t + delay.sample(rng);
-    if (reply_t < t1) {
-      trace::PacketRecord a = q;
-      a.time = reply_t;
-      a.from_originator = false;
-      a.payload_bytes = static_cast<std::uint16_t>(80 + rng.uniform_int(200));
-      out.add(a);
-    }
+    emit_dns_exchange(rng, config, t, t1, (*next_conn_id)++, out);
+  }
+}
+
+void emit_mbone_session(rng::Rng& rng, const MboneConfig& config,
+                        double start, double t1, std::uint32_t id,
+                        trace::PacketTrace& out) {
+  const dist::LogNormal session_len(config.session_log_mean,
+                                    config.session_log_sd);
+  const double end = std::min(start + session_len.sample(rng), t1);
+  for (double t = start; t < end; t += config.packet_interval) {
+    trace::PacketRecord r;
+    r.time = t;
+    r.protocol = trace::Protocol::kMbone;
+    r.conn_id = id;
+    r.from_originator = true;
+    r.payload_bytes = config.packet_bytes;
+    out.add(r);
   }
 }
 
@@ -145,20 +206,8 @@ void fill_mbone_packets(rng::Rng& rng, const MboneConfig& config, double t0,
                         double t1, std::uint32_t* next_conn_id,
                         trace::PacketTrace& out) {
   const double rate = config.sessions_per_hour / 3600.0;
-  const dist::LogNormal session_len(config.session_log_mean,
-                                    config.session_log_sd);
   for (double start : poisson_arrivals(rng, rate, t0, t1)) {
-    const std::uint32_t id = (*next_conn_id)++;
-    const double end = std::min(start + session_len.sample(rng), t1);
-    for (double t = start; t < end; t += config.packet_interval) {
-      trace::PacketRecord r;
-      r.time = t;
-      r.protocol = trace::Protocol::kMbone;
-      r.conn_id = id;
-      r.from_originator = true;
-      r.payload_bytes = config.packet_bytes;
-      out.add(r);
-    }
+    emit_mbone_session(rng, config, start, t1, (*next_conn_id)++, out);
   }
 }
 

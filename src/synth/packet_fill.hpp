@@ -40,10 +40,34 @@ struct PacketFillConfig {
   double tcp_bottleneck_rate = 100.0;
 };
 
+/// True for the bulk-transfer family fill_bulk_packets packetizes
+/// (FTPDATA, FTP control, SMTP, NNTP, WWW, X11).
+bool is_bulk_protocol(trace::Protocol p) noexcept;
+
+/// The per-connection packetization stream: a connection's pacing
+/// randomness depends only on (stream_key, conn_id), never on how many
+/// connections were filled before it — which is what lets fill run over
+/// connections in any order (parallel batch fill, lazy streaming fill)
+/// and still emit identical packets. stream_key is one draw from the
+/// fill stream; the multiplier spreads consecutive conn ids across seed
+/// space before Xoshiro's SplitMix64 seed expansion.
+rng::Rng bulk_conn_rng(std::uint64_t stream_key,
+                       std::uint32_t conn_id) noexcept;
+
+/// Packetizes one bulk connection (both directions, paced over its
+/// duration) as conn `id`, drawing jitter from `rng` — callers pass
+/// bulk_conn_rng(stream_key, id).
+void fill_conn_packets(rng::Rng& rng, const trace::ConnRecord& c,
+                       const PacketFillConfig& config, std::uint32_t id,
+                       trace::PacketTrace& out);
+
 /// Emits data packets for every connection in `conns` whose protocol is
 /// in the bulk family (FTPDATA, SMTP, NNTP, WWW, FTP control, X11);
 /// both directions, paced over the connection duration. conn ids are
-/// assigned from *next_conn_id.
+/// assigned from *next_conn_id in record order. Runs the per-connection
+/// fills in parallel; output is identical for any thread count (and to
+/// a serial fill) because each connection owns a bulk_conn_rng stream
+/// and parts are concatenated in record order.
 void fill_bulk_packets(rng::Rng& rng, const trace::ConnTrace& conns,
                        const PacketFillConfig& config,
                        std::uint32_t* next_conn_id, trace::PacketTrace& out);
@@ -53,6 +77,13 @@ struct DnsConfig {
   double reply_delay_log_mean = -2.5;  ///< ln seconds (~80 ms)
   double reply_delay_log_sd = 1.0;
 };
+
+/// One DNS exchange: a query packet at `t` plus its reply (dropped if
+/// the sampled reply time lands past t1). fill_dns_packets calls this
+/// once per Poisson arrival; a streaming synthesizer calls it lazily at
+/// the same rng position and gets the identical packets.
+void emit_dns_exchange(rng::Rng& rng, const DnsConfig& config, double t,
+                       double t1, std::uint32_t id, trace::PacketTrace& out);
 
 /// Poisson DNS query/reply pairs (UDP); each query is one small packet,
 /// each reply another.
@@ -67,6 +98,13 @@ struct MboneConfig {
   double packet_interval = 0.04;  ///< 25 pkt/s audio
   std::uint16_t packet_bytes = 320;
 };
+
+/// One MBone session starting at `start`: samples its length, then emits
+/// constant-rate audio packets until it ends (or t1). Same lazy-call
+/// contract as emit_dns_exchange.
+void emit_mbone_session(rng::Rng& rng, const MboneConfig& config,
+                        double start, double t1, std::uint32_t id,
+                        trace::PacketTrace& out);
 
 /// Constant-rate multicast audio sessions — the UDP traffic that does not
 /// back off under congestion (Section VII-C2).

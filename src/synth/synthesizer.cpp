@@ -128,7 +128,11 @@ trace::PacketTrace synthesize_packet_trace(const PacketDatasetConfig& config) {
   rng::Rng r_nntp = root.child("nntp");
   rng::Rng r_www = root.child("www");
   rng::Rng r_fill = root.child("fill");
-  rng::Rng r_udp = config.tcp_only ? rng::Rng(0) : root.child("udp");
+  // DNS and MBone each own a child stream (rather than sharing a "udp"
+  // stream sequentially) so either can be generated without first
+  // materializing the other — the streaming synthesizer needs that.
+  rng::Rng r_dns = config.tcp_only ? rng::Rng(0) : root.child("dns");
+  rng::Rng r_mbone = config.tcp_only ? rng::Rng(0) : root.child("mbone");
 
   // TELNET: FULL-TEL originator packets plus the responder model
   // (echoes and command-output bursts) so the aggregate trace carries
@@ -202,10 +206,10 @@ trace::PacketTrace synthesize_packet_trace(const PacketDatasetConfig& config) {
   if (!config.tcp_only) {
     DnsConfig dc = config.dns;
     dc.queries_per_hour *= config.volume_scale;
-    fill_dns_packets(r_udp, dc, t0, t1, &next_conn_id, out);
+    fill_dns_packets(r_dns, dc, t0, t1, &next_conn_id, out);
     MboneConfig mc = config.mbone;
     mc.sessions_per_hour *= config.volume_scale;
-    fill_mbone_packets(r_udp, mc, t0, t1, &next_conn_id, out);
+    fill_mbone_packets(r_mbone, mc, t0, t1, &next_conn_id, out);
   }
 
   // Drop packets that drifted past the capture window and sort.

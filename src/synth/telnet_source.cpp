@@ -76,26 +76,72 @@ std::vector<TelnetConnection> TelnetSource::generate_from_skeletons(
   return conns;
 }
 
+void TelnetSource::append_originator_packets(const TelnetConnection& c,
+                                             double t0, double t1,
+                                             std::uint32_t conn_id,
+                                             trace::PacketTrace& out) const {
+  for (std::size_t i = 0; i < c.packet_times.size(); ++i) {
+    const double t = c.packet_times[i];
+    if (t < t0 || t >= t1) continue;
+    trace::PacketRecord r;
+    r.time = t;
+    r.protocol = config_.protocol;
+    r.conn_id = conn_id;
+    r.from_originator = true;
+    // Mostly single keystrokes; occasional line-mode packets. The blend
+    // averages ~1.6 bytes/packet, matching Section V's 139k bytes over
+    // 85k packets.
+    r.payload_bytes = static_cast<std::uint16_t>(1 + (i % 8 == 7 ? 5 : 0));
+    out.add(r);
+  }
+}
+
+void TelnetSource::append_responder_packets(rng::Rng& rng,
+                                            const TelnetConnection& c,
+                                            double t0, double t1,
+                                            std::uint32_t conn_id,
+                                            const ResponderConfig& responder,
+                                            trace::PacketTrace& out) const {
+  const dist::LogNormal echo_delay(responder.echo_delay_log_mean,
+                                   responder.echo_delay_log_sd);
+  for (double t : c.packet_times) {
+    if (t < t0 || t >= t1) continue;
+    // Echo of the keystroke.
+    trace::PacketRecord echo;
+    echo.time = t + echo_delay.sample(rng);
+    echo.protocol = config_.protocol;
+    echo.conn_id = conn_id;
+    echo.from_originator = false;
+    echo.payload_bytes = static_cast<std::uint16_t>(1 + rng.uniform_int(4));
+    if (echo.time < t1) out.add(echo);
+
+    // Occasional command output: a run of full segments.
+    if (rng.bernoulli(responder.output_probability)) {
+      const std::size_t n =
+          1 + std::min<std::size_t>(dist::DiscretePareto{}.sample(rng),
+                                    responder.max_output_packets - 1);
+      double ot = echo.time + 0.05;
+      for (std::size_t k = 0; k < n && ot < t1; ++k) {
+        trace::PacketRecord outp;
+        outp.time = ot;
+        outp.protocol = config_.protocol;
+        outp.conn_id = conn_id;
+        outp.from_originator = false;
+        outp.payload_bytes = responder.output_bytes;
+        out.add(outp);
+        ot += responder.output_gap * (0.5 + rng.uniform01());
+      }
+    }
+  }
+}
+
 trace::PacketTrace TelnetSource::to_packet_trace(
     const std::vector<TelnetConnection>& conns, double t0, double t1,
     std::uint32_t first_conn_id) const {
   trace::PacketTrace out("telnet-synth", t0, t1);
   std::uint32_t id = first_conn_id;
   for (const TelnetConnection& c : conns) {
-    for (std::size_t i = 0; i < c.packet_times.size(); ++i) {
-      const double t = c.packet_times[i];
-      if (t < t0 || t >= t1) continue;
-      trace::PacketRecord r;
-      r.time = t;
-      r.protocol = config_.protocol;
-      r.conn_id = id;
-      r.from_originator = true;
-      // Mostly single keystrokes; occasional line-mode packets. The blend
-      // averages ~1.6 bytes/packet, matching Section V's 139k bytes over
-      // 85k packets.
-      r.payload_bytes = static_cast<std::uint16_t>(1 + (i % 8 == 7 ? 5 : 0));
-      out.add(r);
-    }
+    append_originator_packets(c, t0, t1, id, out);
     ++id;
   }
   out.sort_by_time();
@@ -107,39 +153,9 @@ trace::PacketTrace TelnetSource::to_packet_trace_with_responder(
     double t1, const ResponderConfig& responder,
     std::uint32_t first_conn_id) const {
   trace::PacketTrace out = to_packet_trace(conns, t0, t1, first_conn_id);
-  const dist::LogNormal echo_delay(responder.echo_delay_log_mean,
-                                   responder.echo_delay_log_sd);
   std::uint32_t id = first_conn_id;
   for (const TelnetConnection& c : conns) {
-    for (double t : c.packet_times) {
-      if (t < t0 || t >= t1) continue;
-      // Echo of the keystroke.
-      trace::PacketRecord echo;
-      echo.time = t + echo_delay.sample(rng);
-      echo.protocol = config_.protocol;
-      echo.conn_id = id;
-      echo.from_originator = false;
-      echo.payload_bytes = static_cast<std::uint16_t>(1 + rng.uniform_int(4));
-      if (echo.time < t1) out.add(echo);
-
-      // Occasional command output: a run of full segments.
-      if (rng.bernoulli(responder.output_probability)) {
-        const std::size_t n =
-            1 + std::min<std::size_t>(dist::DiscretePareto{}.sample(rng),
-                                      responder.max_output_packets - 1);
-        double ot = echo.time + 0.05;
-        for (std::size_t k = 0; k < n && ot < t1; ++k) {
-          trace::PacketRecord outp;
-          outp.time = ot;
-          outp.protocol = config_.protocol;
-          outp.conn_id = id;
-          outp.from_originator = false;
-          outp.payload_bytes = responder.output_bytes;
-          out.add(outp);
-          ot += responder.output_gap * (0.5 + rng.uniform01());
-        }
-      }
-    }
+    append_responder_packets(rng, c, t0, t1, id, responder, out);
     ++id;
   }
   out.sort_by_time();

@@ -112,6 +112,23 @@ class TelnetSource {
       double t1, const ResponderConfig& responder = ResponderConfig{},
       std::uint32_t first_conn_id = 1) const;
 
+  /// Appends one connection's originator data packets (in-window only,
+  /// payload keyed to the keystroke index) without sorting — the
+  /// per-connection unit both to_packet_trace and the streaming
+  /// synthesizer are built on. Consumes no randomness.
+  void append_originator_packets(const TelnetConnection& c, double t0,
+                                 double t1, std::uint32_t conn_id,
+                                 trace::PacketTrace& out) const;
+
+  /// Appends one connection's responder packets (echoes + command-output
+  /// bursts), consuming rng exactly as to_packet_trace_with_responder's
+  /// per-connection loop does — so a caller replaying connections in
+  /// order off a saved rng state reproduces the batch packets.
+  void append_responder_packets(rng::Rng& rng, const TelnetConnection& c,
+                                double t0, double t1, std::uint32_t conn_id,
+                                const ResponderConfig& responder,
+                                trace::PacketTrace& out) const;
+
   /// Appends SYN/FIN-style connection records to `out` (for ConnTrace
   /// synthesis). Bytes are ~1.6 per originator packet (Section V notes
   /// 85k packets carried 139k bytes).

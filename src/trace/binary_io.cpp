@@ -26,22 +26,70 @@ T get(std::istream& is) {
 
 }  // namespace
 
-void write_binary(const PacketTrace& trace, std::ostream& os) {
+std::uint64_t write_packet_header(std::ostream& os,
+                                  const PacketFileHeader& header) {
   os.write(kMagic, 4);
   put(os, kVersion);
-  put(os, trace.t_begin());
-  put(os, trace.t_end());
-  const auto name_len = static_cast<std::uint32_t>(trace.name().size());
+  put(os, header.t_begin);
+  put(os, header.t_end);
+  const auto name_len = static_cast<std::uint32_t>(header.name.size());
   put(os, name_len);
-  os.write(trace.name().data(), name_len);
-  put(os, static_cast<std::uint64_t>(trace.size()));
-  for (const PacketRecord& r : trace.records()) {
-    put(os, r.time);
-    put(os, static_cast<std::uint8_t>(r.protocol));
-    put(os, static_cast<std::uint8_t>(r.from_originator ? 1 : 0));
-    put(os, r.payload_bytes);
-    put(os, r.conn_id);
-  }
+  os.write(header.name.data(), name_len);
+  // magic + version + two doubles + name_len field + name bytes.
+  const std::uint64_t count_offset = 4 + 4 + 8 + 8 + 4 + name_len;
+  put(os, header.count);
+  if (!os) throw std::runtime_error("binary_io: header write failed");
+  return count_offset;
+}
+
+PacketFileHeader read_packet_header(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::memcmp(magic, kMagic, 4) != 0)
+    throw std::runtime_error("binary_io: bad magic");
+  const auto version = get<std::uint32_t>(is);
+  if (version != kVersion)
+    throw std::runtime_error("binary_io: unsupported version " +
+                             std::to_string(version));
+  PacketFileHeader h;
+  h.t_begin = get<double>(is);
+  h.t_end = get<double>(is);
+  const auto name_len = get<std::uint32_t>(is);
+  if (name_len > 4096)
+    throw std::runtime_error("binary_io: implausible name length");
+  h.name.assign(name_len, '\0');
+  is.read(h.name.data(), name_len);
+  if (!is) throw std::runtime_error("binary_io: truncated name");
+  h.count = get<std::uint64_t>(is);
+  return h;
+}
+
+void write_packet_record(std::ostream& os, const PacketRecord& r) {
+  put(os, r.time);
+  put(os, static_cast<std::uint8_t>(r.protocol));
+  put(os, static_cast<std::uint8_t>(r.from_originator ? 1 : 0));
+  put(os, r.payload_bytes);
+  put(os, r.conn_id);
+}
+
+PacketRecord read_packet_record(std::istream& is) {
+  constexpr auto kMaxProtocol = static_cast<std::uint8_t>(Protocol::kOther);
+  PacketRecord r;
+  r.time = get<double>(is);
+  const auto proto = get<std::uint8_t>(is);
+  if (proto > kMaxProtocol)
+    throw std::runtime_error("binary_io: unknown protocol byte");
+  r.protocol = static_cast<Protocol>(proto);
+  r.from_originator = get<std::uint8_t>(is) != 0;
+  r.payload_bytes = get<std::uint16_t>(is);
+  r.conn_id = get<std::uint32_t>(is);
+  return r;
+}
+
+void write_binary(const PacketTrace& trace, std::ostream& os) {
+  write_packet_header(os, {trace.name(), trace.t_begin(), trace.t_end(),
+                           static_cast<std::uint64_t>(trace.size())});
+  for (const PacketRecord& r : trace.records()) write_packet_record(os, r);
   if (!os) throw std::runtime_error("binary_io: write failed");
 }
 
@@ -52,40 +100,11 @@ void write_binary_file(const PacketTrace& trace, const std::string& path) {
 }
 
 PacketTrace read_packet_binary(std::istream& is) {
-  char magic[4];
-  is.read(magic, 4);
-  if (!is || std::memcmp(magic, kMagic, 4) != 0)
-    throw std::runtime_error("binary_io: bad magic");
-  const auto version = get<std::uint32_t>(is);
-  if (version != kVersion)
-    throw std::runtime_error("binary_io: unsupported version " +
-                             std::to_string(version));
-  const auto t_begin = get<double>(is);
-  const auto t_end = get<double>(is);
-  const auto name_len = get<std::uint32_t>(is);
-  if (name_len > 4096)
-    throw std::runtime_error("binary_io: implausible name length");
-  std::string name(name_len, '\0');
-  is.read(name.data(), name_len);
-  if (!is) throw std::runtime_error("binary_io: truncated name");
-  const auto count = get<std::uint64_t>(is);
-
-  PacketTrace trace(std::move(name), t_begin, t_end);
-  trace.reserve(count);
-  constexpr auto kMaxProtocol =
-      static_cast<std::uint8_t>(Protocol::kOther);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    PacketRecord r;
-    r.time = get<double>(is);
-    const auto proto = get<std::uint8_t>(is);
-    if (proto > kMaxProtocol)
-      throw std::runtime_error("binary_io: unknown protocol byte");
-    r.protocol = static_cast<Protocol>(proto);
-    r.from_originator = get<std::uint8_t>(is) != 0;
-    r.payload_bytes = get<std::uint16_t>(is);
-    r.conn_id = get<std::uint32_t>(is);
-    trace.add(r);
-  }
+  PacketFileHeader h = read_packet_header(is);
+  PacketTrace trace(std::move(h.name), h.t_begin, h.t_end);
+  trace.reserve(h.count);
+  for (std::uint64_t i = 0; i < h.count; ++i)
+    trace.add(read_packet_record(is));
   return trace;
 }
 

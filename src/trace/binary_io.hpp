@@ -13,6 +13,7 @@
 //            u32 conn_id                      (16 bytes each)
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -27,5 +28,37 @@ void write_binary_file(const PacketTrace& trace, const std::string& path);
 /// truncated records, unknown protocol byte).
 PacketTrace read_packet_binary(std::istream& is);
 PacketTrace read_packet_binary_file(const std::string& path);
+
+// --- Format primitives -------------------------------------------------
+//
+// The header/record codecs below are the single definition of the file
+// format; write_binary/read_packet_binary and the chunked streaming
+// reader/writer (src/stream/binary_chunk.hpp) are all built on them, so
+// a trace written chunk by chunk is byte-identical to one written whole.
+
+struct PacketFileHeader {
+  std::string name;
+  double t_begin = 0.0;
+  double t_end = 0.0;
+  std::uint64_t count = 0;
+};
+
+/// Size of one encoded record (f64 time, u8 protocol, u8 originator,
+/// u16 payload, u32 conn_id).
+inline constexpr std::size_t kPacketRecordBytes = 16;
+
+/// Writes the header; returns the absolute stream offset of the count
+/// field so a streaming writer can patch it once the count is known.
+std::uint64_t write_packet_header(std::ostream& os,
+                                  const PacketFileHeader& header);
+
+/// Reads and validates magic/version; throws std::runtime_error on a
+/// malformed header.
+PacketFileHeader read_packet_header(std::istream& is);
+
+void write_packet_record(std::ostream& os, const PacketRecord& r);
+
+/// Throws std::runtime_error on truncation or an unknown protocol byte.
+PacketRecord read_packet_record(std::istream& is);
 
 }  // namespace wan::trace

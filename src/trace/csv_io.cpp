@@ -116,28 +116,23 @@ ConnTrace read_conn_csv_file(const std::string& path) {
   return read_conn_csv(is, path);
 }
 
-void write_csv(const PacketTrace& trace, std::ostream& os) {
-  os << "# t_begin=" << trace.t_begin() << " t_end=" << trace.t_end()
-     << " name=" << trace.name() << "\n";
+void write_packet_csv_header(std::ostream& os, const std::string& name,
+                             double t_begin, double t_end) {
+  os << "# t_begin=" << t_begin << " t_end=" << t_end << " name=" << name
+     << "\n";
   os << "time,protocol,conn,orig,payload\n";
-  for (const PacketRecord& r : trace.records()) {
-    os << r.time << ',' << to_string(r.protocol) << ',' << r.conn_id << ','
-       << (r.from_originator ? 1 : 0) << ',' << r.payload_bytes << '\n';
-  }
 }
 
-void write_csv_file(const PacketTrace& trace, const std::string& path) {
-  auto os = open_out(path);
-  write_csv(trace, os);
+void write_packet_csv_row(std::ostream& os, const PacketRecord& r) {
+  os << r.time << ',' << to_string(r.protocol) << ',' << r.conn_id << ','
+     << (r.from_originator ? 1 : 0) << ',' << r.payload_bytes << '\n';
 }
 
-PacketTrace read_packet_csv(std::istream& is, std::string name) {
+std::pair<double, double> read_packet_csv_header(std::istream& is) {
   std::string line;
-  std::size_t line_no = 0;
   double t_begin = 0.0, t_end = 0.0;
   if (is.peek() == '#') {
     std::getline(is, line);
-    ++line_no;
     std::istringstream meta(line);
     std::string tok;
     while (meta >> tok) {
@@ -146,25 +141,47 @@ PacketTrace read_packet_csv(std::istream& is, std::string name) {
     }
   }
   if (!std::getline(is, line)) throw std::runtime_error("csv_io: empty input");
-  ++line_no;
+  return {t_begin, t_end};
+}
+
+PacketRecord parse_packet_csv_row(const std::string& line,
+                                  std::size_t line_no) {
+  const auto f = split_csv_line(line);
+  if (f.size() != 5) bad_line("expected 5 fields", line_no);
+  PacketRecord r;
+  try {
+    r.time = std::stod(f[0]);
+    r.protocol = parse_protocol(f[1], line_no);
+    r.conn_id = static_cast<std::uint32_t>(std::stoul(f[2]));
+    r.from_originator = f[3] == "1";
+    r.payload_bytes = static_cast<std::uint16_t>(std::stoul(f[4]));
+  } catch (const std::logic_error&) {
+    bad_line("malformed field", line_no);
+  }
+  return r;
+}
+
+void write_csv(const PacketTrace& trace, std::ostream& os) {
+  write_packet_csv_header(os, trace.name(), trace.t_begin(), trace.t_end());
+  for (const PacketRecord& r : trace.records()) write_packet_csv_row(os, r);
+}
+
+void write_csv_file(const PacketTrace& trace, const std::string& path) {
+  auto os = open_out(path);
+  write_csv(trace, os);
+}
+
+PacketTrace read_packet_csv(std::istream& is, std::string name) {
+  const auto [t_begin, t_end] = read_packet_csv_header(is);
+  std::size_t line_no = 2;  // metadata (if any) + column header consumed
 
   PacketTrace trace(std::move(name), t_begin, t_end);
   double max_time = t_end;
+  std::string line;
   while (std::getline(is, line)) {
     ++line_no;
     if (line.empty()) continue;
-    const auto f = split_csv_line(line);
-    if (f.size() != 5) bad_line("expected 5 fields", line_no);
-    PacketRecord r;
-    try {
-      r.time = std::stod(f[0]);
-      r.protocol = parse_protocol(f[1], line_no);
-      r.conn_id = static_cast<std::uint32_t>(std::stoul(f[2]));
-      r.from_originator = f[3] == "1";
-      r.payload_bytes = static_cast<std::uint16_t>(std::stoul(f[4]));
-    } catch (const std::logic_error&) {
-      bad_line("malformed field", line_no);
-    }
+    const PacketRecord r = parse_packet_csv_row(line, line_no);
     max_time = std::max(max_time, r.time);
     trace.add(r);
   }

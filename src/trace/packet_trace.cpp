@@ -6,10 +6,10 @@
 namespace wan::trace {
 
 void PacketTrace::sort_by_time() {
-  std::sort(records_.begin(), records_.end(),
-            [](const PacketRecord& a, const PacketRecord& b) {
-              return a.time < b.time;
-            });
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const PacketRecord& a, const PacketRecord& b) {
+                     return a.time < b.time;
+                   });
 }
 
 PacketTrace PacketTrace::filter(Protocol protocol) const {
@@ -31,32 +31,33 @@ PacketTrace PacketTrace::originator_data_packets() const {
 
 PacketTrace PacketTrace::remove_bulk_outliers(double max_bytes,
                                               double max_rate) const {
-  struct ConnAgg {
-    double first = 0.0;
-    double last = 0.0;
-    double bytes = 0.0;
-    bool seen = false;
-  };
-  std::map<std::uint32_t, ConnAgg> agg;
-  for (const PacketRecord& r : records_) {
-    if (!r.from_originator) continue;
-    ConnAgg& a = agg[r.conn_id];
-    if (!a.seen) {
-      a.first = r.time;
-      a.seen = true;
-    }
-    a.last = std::max(a.last, r.time);
-    a.first = std::min(a.first, r.time);
-    a.bytes += r.payload_bytes;
-  }
-  std::set<std::uint32_t> outliers;
-  for (const auto& [id, a] : agg) {
-    const double span = std::max(a.last - a.first, 1.0);
-    if (a.bytes > max_bytes && a.bytes / span > max_rate) outliers.insert(id);
-  }
+  BulkOutlierDetector det(max_bytes, max_rate);
+  for (const PacketRecord& r : records_) det.observe(r);
+  const std::set<std::uint32_t> outliers = det.outliers();
   PacketTrace out(name_ + "/no-outliers", t_begin_, t_end_);
   for (const PacketRecord& r : records_) {
     if (!outliers.contains(r.conn_id)) out.add(r);
+  }
+  return out;
+}
+
+void BulkOutlierDetector::observe(const PacketRecord& r) {
+  if (!r.from_originator) return;
+  ConnAgg& a = agg_[r.conn_id];
+  if (!a.seen) {
+    a.first = r.time;
+    a.seen = true;
+  }
+  a.last = std::max(a.last, r.time);
+  a.first = std::min(a.first, r.time);
+  a.bytes += r.payload_bytes;
+}
+
+std::set<std::uint32_t> BulkOutlierDetector::outliers() const {
+  std::set<std::uint32_t> out;
+  for (const auto& [id, a] : agg_) {
+    const double span = std::max(a.last - a.first, 1.0);
+    if (a.bytes > max_bytes_ && a.bytes / span > max_rate_) out.insert(id);
   }
   return out;
 }

@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,9 @@ class PacketTrace {
   const std::vector<PacketRecord>& records() const { return records_; }
   std::size_t size() const { return records_.size(); }
 
+  /// Stable: equal timestamps keep insertion order, so a sorted trace is
+  /// a well-defined function of its record sequence (the streaming layer
+  /// relies on this to reproduce batch output by ordered merging).
   void sort_by_time();
 
   /// New trace with only `protocol` packets.
@@ -65,6 +69,31 @@ class PacketTrace {
   double t_begin_ = 0.0;
   double t_end_ = 0.0;
   std::vector<PacketRecord> records_;
+};
+
+/// The aggregation step of the Section-IV outlier rule, factored out so
+/// a two-pass streaming source and PacketTrace::remove_bulk_outliers
+/// compute the identical outlier set: observe every record (in trace
+/// order), then ask which connections exceeded max_bytes at a sustained
+/// rate above max_rate. State is O(#connections).
+class BulkOutlierDetector {
+ public:
+  BulkOutlierDetector(double max_bytes, double max_rate)
+      : max_bytes_(max_bytes), max_rate_(max_rate) {}
+
+  void observe(const PacketRecord& r);
+  std::set<std::uint32_t> outliers() const;
+
+ private:
+  struct ConnAgg {
+    double first = 0.0;
+    double last = 0.0;
+    double bytes = 0.0;
+    bool seen = false;
+  };
+  double max_bytes_;
+  double max_rate_;
+  std::map<std::uint32_t, ConnAgg> agg_;
 };
 
 }  // namespace wan::trace

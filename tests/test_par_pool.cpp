@@ -17,7 +17,9 @@
 #include "src/stats/rs_analysis.hpp"
 #include "src/stats/variance_time.hpp"
 #include "src/stats/whittle.hpp"
+#include "src/synth/packet_fill.hpp"
 #include "src/synth/synthesizer.hpp"
+#include "src/trace/conn_trace.hpp"
 
 namespace wan {
 namespace {
@@ -168,6 +170,51 @@ TEST_F(ParDeterminismTest, SynthesizerPacketTraceBitForBit) {
   par::set_thread_count(4);
   const auto parallel = synth::synthesize_packet_trace(cfg);
 
+  ASSERT_EQ(serial.size(), parallel.size());
+  ASSERT_GT(serial.size(), 0u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const auto& a = serial.records()[i];
+    const auto& b = parallel.records()[i];
+    ASSERT_EQ(a.time, b.time) << i;
+    ASSERT_EQ(a.protocol, b.protocol) << i;
+    ASSERT_EQ(a.conn_id, b.conn_id) << i;
+    ASSERT_EQ(a.from_originator, b.from_originator) << i;
+    ASSERT_EQ(a.payload_bytes, b.payload_bytes) << i;
+  }
+}
+
+TEST_F(ParDeterminismTest, FillBulkPacketsBitForBit) {
+  // A hand-built bulk trace with non-bulk records interleaved, so the
+  // id assignment (record order, bulk-only) is exercised too.
+  trace::ConnTrace conns("bulk", 0.0, 600.0);
+  rng::Rng setup(3);
+  for (int i = 0; i < 40; ++i) {
+    trace::ConnRecord r;
+    r.start = setup.uniform01() * 500.0;
+    r.duration = 5.0 + setup.uniform01() * 60.0;
+    r.protocol = (i % 7 == 3) ? trace::Protocol::kTelnet
+               : (i % 3 == 0) ? trace::Protocol::kFtpData
+               : (i % 3 == 1) ? trace::Protocol::kSmtp
+                              : trace::Protocol::kWww;
+    r.bytes_orig = 200 + static_cast<std::uint64_t>(setup.uniform01() * 5e4);
+    r.bytes_resp = 100 + static_cast<std::uint64_t>(setup.uniform01() * 1e4);
+    conns.add(r);
+  }
+
+  const synth::PacketFillConfig fill;
+  par::set_thread_count(1);
+  rng::Rng r1(42);
+  std::uint32_t id1 = 7;
+  trace::PacketTrace serial("fill", 0.0, 600.0);
+  synth::fill_bulk_packets(r1, conns, fill, &id1, serial);
+
+  par::set_thread_count(4);
+  rng::Rng r2(42);
+  std::uint32_t id2 = 7;
+  trace::PacketTrace parallel("fill", 0.0, 600.0);
+  synth::fill_bulk_packets(r2, conns, fill, &id2, parallel);
+
+  EXPECT_EQ(id1, id2);
   ASSERT_EQ(serial.size(), parallel.size());
   ASSERT_GT(serial.size(), 0u);
   for (std::size_t i = 0; i < serial.size(); ++i) {

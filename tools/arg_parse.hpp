@@ -1,0 +1,81 @@
+// Strict command-line parsing for the wantraffic_* tools.
+//
+// The tools' original ad-hoc scanners only looked at argv from a fixed
+// index, so a flag in the "wrong" position — or a typo'd flag anywhere —
+// was silently ignored. This parser walks every position: anything
+// starting with "--" must be a registered flag (value flags must have a
+// value following), everything else is a positional. Unknown flags fail
+// loudly so the caller can print usage.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace wan::tools {
+
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  /// Registers a boolean flag, e.g. "--binary".
+  void add_flag(const std::string& name) { flags_[name] = false; }
+  /// Registers a flag that consumes the next argument, e.g. "--bin 0.1".
+  void add_option(const std::string& name) { options_[name] = {}; }
+
+  /// Walks all arguments. Returns false and sets `error` on an unknown
+  /// "--" flag or a value flag with no value following.
+  bool parse(std::string* error) {
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      const std::string& a = args_[i];
+      if (a.rfind("--", 0) != 0) {
+        positional_.push_back(a);
+        continue;
+      }
+      if (auto f = flags_.find(a); f != flags_.end()) {
+        f->second = true;
+        continue;
+      }
+      if (auto o = options_.find(a); o != options_.end()) {
+        if (i + 1 >= args_.size()) {
+          *error = "flag " + a + " needs a value";
+          return false;
+        }
+        o->second = args_[++i];
+        continue;
+      }
+      *error = "unknown flag " + a;
+      return false;
+    }
+    return true;
+  }
+
+  bool has(const std::string& name) const {
+    const auto f = flags_.find(name);
+    return f != flags_.end() && f->second;
+  }
+
+  /// The option's value, or nullptr if absent.
+  const std::string* value(const std::string& name) const {
+    const auto o = options_.find(name);
+    return (o != options_.end() && !o->second.empty()) ? &o->second : nullptr;
+  }
+
+  double number(const std::string& name, double fallback) const {
+    const std::string* v = value(name);
+    return v ? std::atof(v->c_str()) : fallback;
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::vector<std::string> args_;
+  std::map<std::string, bool> flags_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace wan::tools

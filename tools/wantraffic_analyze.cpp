@@ -4,21 +4,29 @@
 //   wantraffic_analyze conn FILE [--interval SECONDS] [--deperiodic]
 //       Appendix-A Poisson verdicts per protocol + FTPDATA burst stats.
 //   wantraffic_analyze pkt FILE [--bin SECONDS] [--protocol NAME]
-//       [--binary]
+//       [--binary] [--filtered] [--vt-csv FILE] [--stream] [--chunk N]
 //       Count-process Hurst battery (VT, R/S, GPH, Whittle, Beran).
+//
+// --stream runs the packet analysis through the chunked pipeline
+// (src/stream): the file is never materialized in memory, yet the
+// results — including the --vt-csv figure file — are byte-identical to
+// the batch path's.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <fstream>
 #include <string>
 
 #include "src/core/poisson_report.hpp"
 #include "src/selfsim/hurst_report.hpp"
-#include "src/stats/counting.hpp"
 #include "src/stats/tail_fit.hpp"
+#include "src/stream/binary_chunk.hpp"
+#include "src/stream/csv_chunk.hpp"
+#include "src/stream/pipeline.hpp"
 #include "src/trace/binary_io.hpp"
 #include "src/trace/burst.hpp"
 #include "src/trace/csv_io.hpp"
 #include "src/trace/periodic.hpp"
+#include "tools/arg_parse.hpp"
 
 using namespace wan;
 
@@ -30,94 +38,132 @@ int usage() {
                "  wantraffic_analyze conn FILE [--interval SEC] "
                "[--deperiodic]\n"
                "  wantraffic_analyze pkt FILE [--bin SEC] "
-               "[--protocol NAME] [--binary]\n");
+               "[--protocol NAME] [--binary]\n"
+               "                         [--filtered] [--vt-csv FILE] "
+               "[--stream] [--chunk N]\n");
   return 2;
 }
 
-const char* arg_value(int argc, char** argv, const char* flag) {
-  for (int i = 3; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+int run_conn(const std::string& path, const tools::ArgParser& args) {
+  auto tr = trace::read_conn_csv_file(path);
+  std::printf("loaded %zu connection records from %s\n", tr.size(),
+              path.c_str());
+  if (args.has("--deperiodic")) {
+    const auto before = tr.size();
+    tr = trace::remove_periodic_streams(tr);
+    std::printf("removed %zu periodic (weather-map-like) records\n",
+                before - tr.size());
   }
-  return nullptr;
+  core::PoissonReportConfig cfg;
+  cfg.interval_length = args.number("--interval", cfg.interval_length);
+  const auto rows = core::poisson_report(tr, cfg);
+  std::printf("\n%s\n", core::render_poisson_report(rows).c_str());
+
+  const auto bursts = trace::find_ftp_bursts(tr, 4.0);
+  if (bursts.size() >= 100) {
+    const auto bytes = trace::burst_bytes(bursts);
+    std::printf("FTPDATA bursts: %zu; top 0.5%% of bursts hold %.1f%% "
+                "of bytes; tail Pareto beta %.2f\n",
+                bursts.size(),
+                100.0 * stats::mass_in_top_fraction(bytes, 0.005),
+                stats::ccdf_tail_fit(bytes, 0.05).beta);
+  }
+  return 0;
 }
 
-bool has_flag(int argc, char** argv, const char* flag) {
-  for (int i = 3; i < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) return true;
+// Shared by the batch and streaming pkt paths once the PipelineResult
+// exists: the report and the optional figure CSV depend only on it, so
+// both paths produce identical output.
+int report_pkt(const stream::PipelineResult& result,
+               const tools::ArgParser& args) {
+  if (result.packets < 1000) {
+    std::fprintf(stderr, "too few packets (%llu) for the battery\n",
+                 static_cast<unsigned long long>(result.packets));
+    return 1;
   }
-  return false;
+  if (const std::string* out = args.value("--vt-csv")) {
+    std::ofstream os(*out);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s for write\n", out->c_str());
+      return 1;
+    }
+    os << stream::vt_csv(result);
+    std::printf("wrote variance-time CSV to %s\n", out->c_str());
+  }
+  const auto report = selfsim::hurst_report(result.counts);
+  std::printf("\ncount process: %zu bins of %.3g s\n%s\n",
+              result.counts.size(), result.bin, report.to_string().c_str());
+  return 0;
+}
+
+int run_pkt(const std::string& path, const tools::ArgParser& args) {
+  stream::PipelineOptions opt;
+  opt.bin = args.number("--bin", opt.bin);
+  if (const std::string* proto_s = args.value("--protocol")) {
+    const auto p = trace::protocol_from_string(*proto_s);
+    if (!p) {
+      std::fprintf(stderr, "unknown protocol %s\n", proto_s->c_str());
+      return 2;
+    }
+    opt.protocol = *p;
+  }
+  if (args.has("--filtered")) {
+    opt.orig_data_only = true;
+    opt.remove_outliers = true;
+  }
+  opt.chunk_size = static_cast<std::size_t>(
+      args.number("--chunk", static_cast<double>(opt.chunk_size)));
+
+  if (args.has("--stream")) {
+    stream::PipelineResult result;
+    if (args.has("--binary")) {
+      stream::BinaryChunkSource src(path, opt.chunk_size);
+      result = stream::analyze_stream(src, opt);
+    } else {
+      stream::CsvChunkSource src(path, opt.chunk_size);
+      result = stream::analyze_stream(src, opt);
+    }
+    std::printf("streamed %llu packets from %s (%s)\n",
+                static_cast<unsigned long long>(result.packets), path.c_str(),
+                result.info.name.c_str());
+    return report_pkt(result, args);
+  }
+
+  const auto tr = args.has("--binary") ? trace::read_packet_binary_file(path)
+                                       : trace::read_packet_csv_file(path);
+  std::printf("loaded %zu packets from %s\n", tr.size(), path.c_str());
+  return report_pkt(stream::analyze_batch(tr, opt), args);
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const std::string mode = argv[1];
-  const std::string path = argv[2];
+  tools::ArgParser args(argc, argv);
+  args.add_flag("--deperiodic");
+  args.add_flag("--binary");
+  args.add_flag("--filtered");
+  args.add_flag("--stream");
+  args.add_option("--interval");
+  args.add_option("--bin");
+  args.add_option("--protocol");
+  args.add_option("--vt-csv");
+  args.add_option("--chunk");
+
+  std::string error;
+  if (!args.parse(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return usage();
+  }
+  if (args.positional().size() != 2) return usage();
+  const std::string& mode = args.positional()[0];
+  const std::string& path = args.positional()[1];
 
   try {
-    if (mode == "conn") {
-      auto tr = trace::read_conn_csv_file(path);
-      std::printf("loaded %zu connection records from %s\n", tr.size(),
-                  path.c_str());
-      if (has_flag(argc, argv, "--deperiodic")) {
-        const auto before = tr.size();
-        tr = trace::remove_periodic_streams(tr);
-        std::printf("removed %zu periodic (weather-map-like) records\n",
-                    before - tr.size());
-      }
-      core::PoissonReportConfig cfg;
-      const char* iv = arg_value(argc, argv, "--interval");
-      if (iv) cfg.interval_length = std::atof(iv);
-      const auto rows = core::poisson_report(tr, cfg);
-      std::printf("\n%s\n", core::render_poisson_report(rows).c_str());
-
-      const auto bursts = trace::find_ftp_bursts(tr, 4.0);
-      if (bursts.size() >= 100) {
-        const auto bytes = trace::burst_bytes(bursts);
-        std::printf("FTPDATA bursts: %zu; top 0.5%% of bursts hold %.1f%% "
-                    "of bytes; tail Pareto beta %.2f\n",
-                    bursts.size(),
-                    100.0 * stats::mass_in_top_fraction(bytes, 0.005),
-                    stats::ccdf_tail_fit(bytes, 0.05).beta);
-      }
-    } else if (mode == "pkt") {
-      const auto tr = has_flag(argc, argv, "--binary")
-                          ? trace::read_packet_binary_file(path)
-                          : trace::read_packet_csv_file(path);
-      std::printf("loaded %zu packets from %s\n", tr.size(), path.c_str());
-      double bin = 0.1;
-      const char* bin_s = arg_value(argc, argv, "--bin");
-      if (bin_s) bin = std::atof(bin_s);
-
-      std::vector<double> times;
-      const char* proto_s = arg_value(argc, argv, "--protocol");
-      if (proto_s) {
-        const auto p = trace::protocol_from_string(proto_s);
-        if (!p) {
-          std::fprintf(stderr, "unknown protocol %s\n", proto_s);
-          return 2;
-        }
-        times = tr.packet_times(*p);
-      } else {
-        times = tr.packet_times();
-      }
-      if (times.size() < 1000) {
-        std::fprintf(stderr, "too few packets (%zu) for the battery\n",
-                     times.size());
-        return 1;
-      }
-      const auto counts =
-          stats::bin_counts(times, tr.t_begin(), tr.t_end(), bin);
-      const auto report = selfsim::hurst_report(counts);
-      std::printf("\ncount process: %zu bins of %.3g s\n%s\n",
-                  counts.size(), bin, report.to_string().c_str());
-    } else {
-      return usage();
-    }
+    if (mode == "conn") return run_conn(path, args);
+    if (mode == "pkt") return run_pkt(path, args);
+    return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
-  return 0;
 }

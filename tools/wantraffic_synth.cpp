@@ -5,17 +5,24 @@
 //                         [--preset lbl|small] [--no-weathermap]
 //   wantraffic_synth pkt  --out trace.csv [--hours H] [--seed S]
 //                         [--preset lbl|dec] [--all-protocols] [--binary]
+//                         [--stream] [--chunk N]
 //
 // Produces a SYN/FIN connection trace (CSV) or a packet trace
-// (CSV, or the compact binary format with --binary).
+// (CSV, or the compact binary format with --binary). With --stream the
+// packet trace is generated and written chunk by chunk — peak memory is
+// bounded by the chunk size, not the trace length — and the output file
+// is byte-identical to the batch path's.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <string>
 
+#include "src/stream/binary_chunk.hpp"
+#include "src/stream/csv_chunk.hpp"
+#include "src/synth/stream_synth.hpp"
 #include "src/synth/synthesizer.hpp"
 #include "src/trace/binary_io.hpp"
 #include "src/trace/csv_io.hpp"
+#include "tools/arg_parse.hpp"
 
 using namespace wan;
 
@@ -29,64 +36,92 @@ int usage() {
       "                        [--preset lbl|small] [--no-weathermap]\n"
       "  wantraffic_synth pkt  --out FILE [--hours H] [--seed S]\n"
       "                        [--preset lbl|dec] [--all-protocols] "
-      "[--binary]\n");
+      "[--binary]\n"
+      "                        [--stream] [--chunk N]\n");
   return 2;
 }
 
-const char* arg_value(int argc, char** argv, const char* flag) {
-  for (int i = 2; i + 1 < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
-  }
-  return nullptr;
-}
-
-bool has_flag(int argc, char** argv, const char* flag) {
-  for (int i = 2; i < argc; ++i) {
-    if (std::strcmp(argv[i], flag) == 0) return true;
-  }
-  return false;
+// Drains the streaming synthesizer into the chunked writer; returns the
+// record count. Template because the two writers share write()/close()
+// but no base class.
+template <typename Writer>
+std::uint64_t pump(stream::PacketChunkSource& src, Writer& writer) {
+  std::vector<trace::PacketRecord> chunk;
+  while (src.next(chunk)) writer.write(chunk);
+  writer.close();
+  return writer.count();
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string mode = argv[1];
-  const char* out = arg_value(argc, argv, "--out");
+  tools::ArgParser args(argc, argv);
+  args.add_flag("--no-weathermap");
+  args.add_flag("--all-protocols");
+  args.add_flag("--binary");
+  args.add_flag("--stream");
+  args.add_option("--out");
+  args.add_option("--days");
+  args.add_option("--hours");
+  args.add_option("--seed");
+  args.add_option("--preset");
+  args.add_option("--chunk");
+
+  std::string error;
+  if (!args.parse(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return usage();
+  }
+  if (args.positional().size() != 1) return usage();
+  const std::string& mode = args.positional()[0];
+  const std::string* out = args.value("--out");
   if (!out) return usage();
-  const char* seed_s = arg_value(argc, argv, "--seed");
-  const std::uint64_t seed =
-      seed_s ? static_cast<std::uint64_t>(std::atoll(seed_s)) : 1;
-  const char* preset = arg_value(argc, argv, "--preset");
+  const auto seed = static_cast<std::uint64_t>(args.number("--seed", 1));
+  const std::string* preset = args.value("--preset");
 
   try {
     if (mode == "conn") {
-      const char* days_s = arg_value(argc, argv, "--days");
-      const double days = days_s ? std::atof(days_s) : 1.0;
-      auto cfg = (preset && std::string(preset) == "small")
+      const double days = args.number("--days", 1.0);
+      auto cfg = (preset && *preset == "small")
                      ? synth::small_site_conn_preset("CLI", days, seed)
                      : synth::lbl_conn_preset("CLI", days, seed);
-      if (has_flag(argc, argv, "--no-weathermap"))
-        cfg.include_weathermap = false;
+      if (args.has("--no-weathermap")) cfg.include_weathermap = false;
       const auto tr = synth::synthesize_conn_trace(cfg);
-      trace::write_csv_file(tr, out);
+      trace::write_csv_file(tr, *out);
       std::printf("wrote %zu connection records (%.2f days) to %s\n",
-                  tr.size(), days, out);
+                  tr.size(), days, out->c_str());
     } else if (mode == "pkt") {
-      const char* hours_s = arg_value(argc, argv, "--hours");
-      const bool all = has_flag(argc, argv, "--all-protocols");
-      auto cfg = (preset && std::string(preset) == "dec")
+      const bool all = args.has("--all-protocols");
+      auto cfg = (preset && *preset == "dec")
                      ? synth::dec_wrl_pkt_preset("CLI", seed)
                      : synth::lbl_pkt_preset("CLI", !all, seed);
-      if (hours_s) cfg.hours = std::atof(hours_s);
-      const auto tr = synth::synthesize_packet_trace(cfg);
-      if (has_flag(argc, argv, "--binary")) {
-        trace::write_binary_file(tr, out);
+      cfg.hours = args.number("--hours", cfg.hours);
+
+      if (args.has("--stream")) {
+        const auto chunk_size = static_cast<std::size_t>(args.number(
+            "--chunk", static_cast<double>(stream::kDefaultChunkSize)));
+        synth::StreamingPacketSynthesizer src(cfg, chunk_size);
+        std::uint64_t n = 0;
+        if (args.has("--binary")) {
+          stream::ChunkedBinaryWriter writer(*out, src.info());
+          n = pump(src, writer);
+        } else {
+          stream::ChunkedCsvWriter writer(*out, src.info());
+          n = pump(src, writer);
+        }
+        std::printf("streamed %llu packets (%.2f h) to %s\n",
+                    static_cast<unsigned long long>(n), cfg.hours,
+                    out->c_str());
       } else {
-        trace::write_csv_file(tr, out);
+        const auto tr = synth::synthesize_packet_trace(cfg);
+        if (args.has("--binary")) {
+          trace::write_binary_file(tr, *out);
+        } else {
+          trace::write_csv_file(tr, *out);
+        }
+        std::printf("wrote %zu packets (%.2f h) to %s\n", tr.size(),
+                    cfg.hours, out->c_str());
       }
-      std::printf("wrote %zu packets (%.2f h) to %s\n", tr.size(),
-                  cfg.hours, out);
     } else {
       return usage();
     }
