@@ -1,7 +1,10 @@
 #include "src/fft/fft.hpp"
 
 #include <cmath>
+#include <limits>
 #include <stdexcept>
+
+#include "src/fft/plan.hpp"
 
 namespace wan::fft {
 
@@ -9,7 +12,12 @@ bool is_power_of_two(std::size_t n) noexcept {
   return n >= 1 && (n & (n - 1)) == 0;
 }
 
-std::size_t next_power_of_two(std::size_t n) noexcept {
+std::size_t next_power_of_two(std::size_t n) {
+  constexpr std::size_t kMaxPower =
+      (std::numeric_limits<std::size_t>::max() >> 1) + 1;  // 2^63 on 64-bit
+  if (n > kMaxPower)
+    throw std::overflow_error(
+        "next_power_of_two: no power of two >= n fits in size_t");
   std::size_t p = 1;
   while (p < n) p <<= 1;
   return p;
@@ -20,47 +28,26 @@ void fft_pow2(std::span<cd> data, bool inverse) {
   if (!is_power_of_two(n))
     throw std::invalid_argument("fft_pow2: size must be a power of two");
   if (n == 1) return;
-
-  // Bit-reversal permutation.
-  for (std::size_t i = 1, j = 0; i < n; ++i) {
-    std::size_t bit = n >> 1;
-    for (; j & bit; bit >>= 1) j ^= bit;
-    j ^= bit;
-    if (i < j) std::swap(data[i], data[j]);
-  }
-
-  // Butterflies, with per-stage twiddle tables. Each w_len^k comes
-  // straight from cos/sin instead of the incremental w *= wlen recurrence,
-  // which accumulates O(len) rounding error by the end of a stage; the
-  // table is also computed once per stage instead of once per block.
-  std::vector<cd> twiddle(n / 2);
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const std::size_t half = len / 2;
-    const double ang =
-        (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
-    for (std::size_t k = 0; k < half; ++k) {
-      const double a = ang * static_cast<double>(k);
-      twiddle[k] = cd(std::cos(a), std::sin(a));
-    }
-    for (std::size_t i = 0; i < n; i += len) {
-      for (std::size_t k = 0; k < half; ++k) {
-        const cd u = data[i + k];
-        const cd v = data[i + k + half] * twiddle[k];
-        data[i + k] = u + v;
-        data[i + k + half] = u - v;
-      }
-    }
+  const auto plan = plan_for(n);
+  if (inverse) {
+    plan->inverse(data);
+  } else {
+    plan->forward(data);
   }
 }
 
 namespace {
 
 // Bluestein's algorithm: express an arbitrary-length DFT as a
-// convolution, evaluated with a power-of-two FFT.
+// convolution, evaluated with a power-of-two FFT. All three inner
+// transforms have the same size m, so one cached plan serves them all —
+// the twiddle/bit-reversal tables are derived (at most) once per m, not
+// three times per call.
 std::vector<cd> bluestein(std::span<const cd> data, bool inverse) {
   const std::size_t n = data.size();
   const std::size_t m = next_power_of_two(2 * n + 1);
   const double sign = inverse ? 1.0 : -1.0;
+  const auto plan = plan_for(m);
 
   // Chirp w[k] = exp(sign * i * pi * k^2 / n).
   std::vector<cd> w(n);
@@ -81,10 +68,10 @@ std::vector<cd> bluestein(std::span<const cd> data, bool inverse) {
     b[m - k] = std::conj(w[k]);
   }
 
-  fft_pow2(a, false);
-  fft_pow2(b, false);
+  plan->forward(a);
+  plan->forward(b);
   for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
-  fft_pow2(a, true);
+  plan->inverse(a);
   const double inv_m = 1.0 / static_cast<double>(m);
 
   std::vector<cd> out(n);
@@ -117,21 +104,62 @@ std::vector<cd> ifft(std::span<const cd> data) {
   return out;
 }
 
+std::vector<cd> rfft(std::span<const double> data, double subtract) {
+  const std::size_t n = data.size();
+  if (n == 0) return {};
+  if (n == 1) return {cd(data[0] - subtract, 0.0)};
+  if (n % 2 == 0) return rfft_plan_for(n)->forward(data, subtract);
+
+  // Odd length: widen (centering in place) and truncate the complex
+  // spectrum to the nonnegative frequencies.
+  std::vector<cd> cx(n);
+  for (std::size_t i = 0; i < n; ++i) cx[i] = cd(data[i] - subtract, 0.0);
+  auto full = fft(cx);
+  full.resize(n / 2 + 1);
+  return full;
+}
+
+std::vector<double> irfft(std::span<const cd> half_spectrum, std::size_t n) {
+  if (n == 0) return {};
+  if (half_spectrum.size() != n / 2 + 1)
+    throw std::invalid_argument(
+        "irfft: half spectrum must hold floor(n/2) + 1 entries");
+  if (n == 1) return {half_spectrum[0].real()};
+  if (n % 2 == 0) return rfft_plan_for(n)->inverse(half_spectrum);
+
+  // Odd length: rebuild the full Hermitian spectrum and invert.
+  std::vector<cd> full(n);
+  full[0] = cd(half_spectrum[0].real(), 0.0);
+  for (std::size_t k = 1; k <= n / 2; ++k) {
+    full[k] = half_spectrum[k];
+    full[n - k] = std::conj(half_spectrum[k]);
+  }
+  const auto z = ifft(full);
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = z[i].real();
+  return out;
+}
+
 std::vector<cd> fft_real(std::span<const double> data) {
-  std::vector<cd> cx(data.size());
-  for (std::size_t i = 0; i < data.size(); ++i) cx[i] = cd(data[i], 0.0);
-  return fft(cx);
+  const std::size_t n = data.size();
+  if (n == 0) return {};
+  const auto half = rfft(data);
+  std::vector<cd> out(n);
+  for (std::size_t k = 0; k < half.size(); ++k) out[k] = half[k];
+  // Conjugate mirror for the strictly negative frequencies.
+  for (std::size_t k = 1; k <= n - half.size(); ++k)
+    out[n - k] = std::conj(half[k]);
+  return out;
 }
 
 std::vector<double> circular_autocorrelation(std::span<const double> x) {
-  auto spec = fft_real(x);
+  const std::size_t n = x.size();
+  if (n == 0) return {};
+  const auto spec = rfft(x);
   std::vector<cd> power(spec.size());
-  for (std::size_t i = 0; i < spec.size(); ++i)
-    power[i] = cd(std::norm(spec[i]), 0.0);
-  auto corr = ifft(power);
-  std::vector<double> out(corr.size());
-  for (std::size_t i = 0; i < corr.size(); ++i) out[i] = corr[i].real();
-  return out;
+  for (std::size_t k = 0; k < spec.size(); ++k)
+    power[k] = cd(std::norm(spec[k]), 0.0);
+  return irfft(power, n);
 }
 
 }  // namespace wan::fft

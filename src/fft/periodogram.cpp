@@ -1,10 +1,10 @@
 #include "src/fft/periodogram.hpp"
 
 #include <cmath>
-#include <numeric>
 #include <stdexcept>
 
 #include "src/fft/fft.hpp"
+#include "src/stats/descriptive.hpp"
 
 namespace wan::fft {
 
@@ -12,12 +12,13 @@ Periodogram periodogram(std::span<const double> x) {
   const std::size_t n = x.size();
   if (n < 4) throw std::invalid_argument("periodogram: series too short");
 
-  const double mean =
-      std::accumulate(x.begin(), x.end(), 0.0) / static_cast<double>(n);
-  std::vector<double> centered(n);
-  for (std::size_t i = 0; i < n; ++i) centered[i] = x[i] - mean;
+  // Single-pass Welford mean (header-only MomentAccumulator); the mean
+  // is then removed while rfft packs the series into its half-size
+  // complex workspace, so no separate centered copy is ever allocated.
+  stats::MomentAccumulator acc;
+  for (double v : x) acc.push(v);
 
-  const auto spec = fft_real(centered);
+  const auto spec = rfft(x, acc.mean());
   const std::size_t m = (n - 1) / 2;
   Periodogram out;
   out.frequency.resize(m);

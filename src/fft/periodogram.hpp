@@ -16,7 +16,10 @@ struct Periodogram {
 
 /// Computes I(lambda_j) = |sum_t (x_t - mean) e^{-i lambda_j t}|^2 / (2 pi n).
 /// The mean is removed so the j = 0 ordinate (which would be dominated by
-/// the level of the series) is excluded, as is standard.
+/// the level of the series) is excluded, as is standard. The mean is
+/// accumulated in one Welford pass and subtracted while the series is
+/// packed into the real-input FFT's half-size workspace — no widened or
+/// centered copy of the series is made.
 Periodogram periodogram(std::span<const double> x);
 
 }  // namespace wan::fft

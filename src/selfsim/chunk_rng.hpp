@@ -1,0 +1,37 @@
+// Deterministic per-chunk RNG streams for parallel sample-path
+// synthesis (fGn spectral noise, fARIMA innovations).
+//
+// The pattern mirrors synth::bulk_conn_rng: the caller draws ONE u64
+// stream key from its ambient Rng (advancing it, so successive
+// generator calls produce independent paths), and every fixed-size
+// chunk of the index space derives its own child stream from
+// (stream_key, chunk index) alone. Chunk boundaries are a pure function
+// of the problem size — never of the thread count — so any scheduling
+// of the chunks produces the same draws: parallel == serial bit-for-bit
+// (pinned in tests/test_par_pool.cpp).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/rng/rng.hpp"
+
+namespace wan::selfsim {
+
+/// Indices per RNG chunk for the chunked generators. A fixed constant
+/// (pure function of nothing) so the draw layout depends only on the
+/// requested length.
+inline constexpr std::size_t kSynthesisChunk = 1 << 14;
+
+/// The chunk's private stream: depends only on (stream_key, chunk), so
+/// chunks can be generated in any order — or concurrently — and still
+/// draw identical values. The golden-ratio multiplier spreads
+/// consecutive chunk indices across seed space before Xoshiro's
+/// SplitMix64 seed expansion; +1 keeps chunk 0 off the raw key.
+inline rng::Rng chunk_stream_rng(std::uint64_t stream_key,
+                                 std::size_t chunk) noexcept {
+  return rng::Rng(stream_key ^
+                  (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(chunk) + 1)));
+}
+
+}  // namespace wan::selfsim

@@ -105,29 +105,7 @@ std::vector<double> interarrivals(std::span<const double> times) {
   return out;
 }
 
-void MomentAccumulator::push(double x) {
-  if (n_ == 0) {
-    min_ = max_ = x;
-  } else {
-    if (x < min_) min_ = x;
-    if (x > max_) max_ = x;
-  }
-  ++n_;
-  const double delta = x - mean_;
-  mean_ += delta / static_cast<double>(n_);
-  m2_ += delta * (x - mean_);
-}
-
-double MomentAccumulator::variance_sample() const {
-  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
-}
-
-double MomentAccumulator::variance_population() const {
-  return n_ == 0 ? 0.0 : m2_ / static_cast<double>(n_);
-}
-
-double MomentAccumulator::stddev() const {
-  return std::sqrt(variance_sample());
-}
+// MomentAccumulator is header-only (see descriptive.hpp) so layers below
+// wan_stats can use it without a library cycle.
 
 }  // namespace wan::stats

@@ -3,6 +3,7 @@
 // quantiles of samples.
 #pragma once
 
+#include <cmath>
 #include <span>
 #include <vector>
 
@@ -59,17 +60,36 @@ std::vector<double> interarrivals(std::span<const double> times);
 /// work differently, so its variance agrees with variance(span) only to
 /// rounding — use it where the data cannot be held, not where bitwise
 /// reproduction of the span results is required.
+///
+/// Header-only so the layers below wan_stats (the periodogram's
+/// single-pass centering in wan_fft) can use it without a library cycle.
 class MomentAccumulator {
  public:
-  void push(double x);
+  void push(double x) {
+    if (n_ == 0) {
+      min_ = max_ = x;
+    } else {
+      if (x < min_) min_ = x;
+      if (x > max_) max_ = x;
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
 
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   /// Unbiased (n-1) variance; 0 if n < 2.
-  double variance_sample() const;
+  double variance_sample() const {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
   /// Population (n) variance; 0 if empty.
-  double variance_population() const;
-  double stddev() const;  ///< sqrt of the sample variance
+  double variance_population() const {
+    return n_ == 0 ? 0.0 : m2_ / static_cast<double>(n_);
+  }
+  /// sqrt of the sample variance.
+  double stddev() const { return std::sqrt(variance_sample()); }
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }
 

@@ -13,6 +13,7 @@
 #include "src/par/parallel.hpp"
 #include "src/par/thread_pool.hpp"
 #include "src/rng/rng.hpp"
+#include "src/selfsim/farima.hpp"
 #include "src/selfsim/fgn.hpp"
 #include "src/stats/rs_analysis.hpp"
 #include "src/stats/variance_time.hpp"
@@ -268,6 +269,40 @@ TEST_F(ParDeterminismTest, WhittleBitForBit) {
   const auto parallel_fa = stats::whittle_farima(x);
   EXPECT_EQ(serial_fa.hurst, parallel_fa.hurst);
   EXPECT_EQ(serial_fa.objective, parallel_fa.objective);
+}
+
+TEST_F(ParDeterminismTest, GenerateFgnBitForBit) {
+  // The spectral-noise chunks draw from pre-derived per-chunk RNG
+  // streams (chunk_rng.hpp) and the irfft butterflies write disjoint
+  // slots, so the sample path is a pure function of the seed. 2^16
+  // points spans several synthesis chunks and FFT grain chunks.
+  par::set_thread_count(1);
+  rng::Rng r1(404);
+  const auto serial = selfsim::generate_fgn(r1, std::size_t{1} << 16, 0.8);
+  par::set_thread_count(4);
+  rng::Rng r2(404);
+  const auto parallel = selfsim::generate_fgn(r2, std::size_t{1} << 16, 0.8);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    ASSERT_EQ(serial[i], parallel[i]) << i;
+  // Both runs consumed the same single u64 stream key.
+  EXPECT_EQ(r1.next_u64(), r2.next_u64());
+}
+
+TEST_F(ParDeterminismTest, GenerateFarimaBitForBit) {
+  par::set_thread_count(1);
+  rng::Rng r1(505);
+  const auto serial =
+      selfsim::generate_farima(r1, std::size_t{1} << 15, 0.3);
+  par::set_thread_count(4);
+  rng::Rng r2(505);
+  const auto parallel =
+      selfsim::generate_farima(r2, std::size_t{1} << 15, 0.3);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    ASSERT_EQ(serial[i], parallel[i]) << i;
 }
 
 TEST_F(ParDeterminismTest, RsAnalysisBitForBit) {
