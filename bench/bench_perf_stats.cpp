@@ -84,6 +84,36 @@ int main(int argc, char** argv) {
         [&] { return same_whittle(serial, parallel); });
   }
 
+  // fGn density cache before/after: the reference path re-evaluates
+  // fgn_spectral_density at every ordinate per candidate H ("serial"
+  // column), the grid path interpolates the smooth part from 513 nodes
+  // ("parallel" column). Both run at 1 thread so the row isolates the
+  // cache itself; `identical` records that the fitted H agrees to 1e-4.
+  {
+    rng::Rng rng(6);
+    const auto x = selfsim::generate_fgn(rng, 1 << 14, 0.8);
+    const auto pg = fft::periodogram(x);
+    stats::WhittleResult direct, grid;
+    bench::BenchResult row;
+    row.op = "whittle_fgn_density_cache/16384";
+    row.threads = 1;
+    row.items = static_cast<double>(x.size());
+    row.unit = "samples";
+    par::set_thread_count(1);
+    row.serial_ms = bench::min_time_ms(
+        [&] { direct = stats::whittle_fgn_direct_from_periodogram(pg); });
+    row.parallel_ms = bench::min_time_ms(
+        [&] { grid = stats::whittle_fgn_from_periodogram(pg); });
+    row.speedup = row.parallel_ms > 0.0 ? row.serial_ms / row.parallel_ms
+                                        : 1.0;
+    row.throughput = row.parallel_ms > 0.0
+                         ? row.items / (row.parallel_ms / 1000.0)
+                         : 0.0;
+    row.identical = std::abs(direct.hurst - grid.hurst) < 1e-4;
+    row.extra.emplace_back("density_cache", "\"direct_vs_grid\"");
+    harness.add(row);
+  }
+
   // R/S pox-plot statistics (per-window-size tasks).
   {
     rng::Rng rng(7);

@@ -9,8 +9,16 @@
 namespace wan::fft {
 
 Periodogram periodogram(std::span<const double> x) {
+  if (x.size() < 4)
+    throw std::invalid_argument("periodogram: series too short");
+
+  // Force an even transform size by dropping the last sample of an
+  // odd-length series. One sample is statistically immaterial for the
+  // ordinates, and it keeps rfft on the planned half-size real path
+  // (the odd fallback widens to a full complex transform and, for
+  // non-power-of-two n, falls through to Bluestein).
+  if (x.size() % 2 != 0) x = x.first(x.size() - 1);
   const std::size_t n = x.size();
-  if (n < 4) throw std::invalid_argument("periodogram: series too short");
 
   // Single-pass Welford mean (header-only MomentAccumulator); the mean
   // is then removed while rfft packs the series into its half-size

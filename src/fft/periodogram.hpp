@@ -19,7 +19,9 @@ struct Periodogram {
 /// the level of the series) is excluded, as is standard. The mean is
 /// accumulated in one Welford pass and subtracted while the series is
 /// packed into the real-input FFT's half-size workspace — no widened or
-/// centered copy of the series is made.
+/// centered copy of the series is made. An odd-length series is trimmed
+/// by one trailing sample so the transform size is always even and rfft
+/// never needs its widened odd-length fallback.
 Periodogram periodogram(std::span<const double> x);
 
 }  // namespace wan::fft

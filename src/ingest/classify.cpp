@@ -1,0 +1,66 @@
+#include "src/ingest/classify.hpp"
+
+namespace wan::ingest {
+
+namespace {
+
+// Well-known server ports of the paper's protocol families (Section III
+// names the TCP services; DNS appears in the link-level traces).
+trace::Protocol tcp_port_protocol(std::uint16_t port) noexcept {
+  switch (port) {
+    case 23: return trace::Protocol::kTelnet;
+    case 513: return trace::Protocol::kRlogin;
+    case 21: return trace::Protocol::kFtpCtrl;
+    case 20: return trace::Protocol::kFtpData;
+    case 25: return trace::Protocol::kSmtp;
+    case 119: return trace::Protocol::kNntp;
+    case 80:
+    case 8080: return trace::Protocol::kWww;
+    case 53: return trace::Protocol::kDns;
+    default:
+      if (port >= 6000 && port <= 6063) return trace::Protocol::kX11;
+      return trace::Protocol::kOther;
+  }
+}
+
+}  // namespace
+
+trace::Protocol classify_tcp(std::uint16_t responder_port,
+                             std::uint16_t originator_port) noexcept {
+  const trace::Protocol by_resp = tcp_port_protocol(responder_port);
+  if (by_resp != trace::Protocol::kOther) return by_resp;
+  // Active-mode FTPDATA (and rlogin's privileged client port) is keyed
+  // by the originator side.
+  const trace::Protocol by_orig = tcp_port_protocol(originator_port);
+  if (by_orig == trace::Protocol::kFtpData) return by_orig;
+  return trace::Protocol::kOther;
+}
+
+trace::Protocol classify_udp(std::uint16_t responder_port,
+                             std::uint16_t originator_port,
+                             bool multicast_dst) noexcept {
+  if (multicast_dst) return trace::Protocol::kMbone;
+  if (responder_port == 53 || originator_port == 53)
+    return trace::Protocol::kDns;
+  return trace::Protocol::kOther;
+}
+
+std::optional<trace::Protocol> protocol_from_service(
+    std::string_view name) noexcept {
+  // ITA connection logs use lowercase /etc/services-style names.
+  if (name == "telnet") return trace::Protocol::kTelnet;
+  if (name == "rlogin" || name == "login") return trace::Protocol::kRlogin;
+  if (name == "ftp") return trace::Protocol::kFtpCtrl;
+  if (name == "ftp-data" || name == "ftpdata")
+    return trace::Protocol::kFtpData;
+  if (name == "smtp") return trace::Protocol::kSmtp;
+  if (name == "nntp") return trace::Protocol::kNntp;
+  if (name == "www" || name == "http") return trace::Protocol::kWww;
+  if (name == "x11" || name == "X") return trace::Protocol::kX11;
+  if (name == "domain" || name == "dns") return trace::Protocol::kDns;
+  if (name == "mbone") return trace::Protocol::kMbone;
+  if (name == "other") return trace::Protocol::kOther;
+  return trace::protocol_from_string(name);
+}
+
+}  // namespace wan::ingest

@@ -1,0 +1,36 @@
+// Port-based protocol classification for reconstructed flows, mapping
+// onto the same trace::Protocol families the synthetic traces use so
+// ingested and synthesized data flow through identical analysis paths.
+//
+// A SYN/FIN monitor knows which endpoint is the server (the SYN's
+// destination), so classification checks the responder port first; the
+// originator port is consulted second to catch active-mode FTPDATA,
+// where the *server* opens the connection from source port 20.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "src/trace/protocol.hpp"
+
+namespace wan::ingest {
+
+/// Protocol of a TCP flow given its two endpoint ports (responder ==
+/// the SYN receiver / server side). Unmapped ports yield kOther.
+trace::Protocol classify_tcp(std::uint16_t responder_port,
+                             std::uint16_t originator_port) noexcept;
+
+/// Protocol of a UDP flow: DNS by port, MBONE by multicast destination;
+/// everything else kOther.
+trace::Protocol classify_udp(std::uint16_t responder_port,
+                             std::uint16_t originator_port,
+                             bool multicast_dst) noexcept;
+
+/// Service name from an ITA connection log (lowercase, e.g. "telnet",
+/// "ftp-data", "nntp") to the Protocol enum. Also accepts this repo's
+/// uppercase names via trace::protocol_from_string. nullopt if unmapped.
+std::optional<trace::Protocol> protocol_from_service(
+    std::string_view name) noexcept;
+
+}  // namespace wan::ingest

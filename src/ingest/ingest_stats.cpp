@@ -1,0 +1,37 @@
+#include "src/ingest/ingest_stats.hpp"
+
+#include <sstream>
+
+namespace wan::ingest {
+
+std::string IngestStats::to_string() const {
+  std::ostringstream os;
+  os << "ingested " << records << " record(s) from " << bytes << " byte(s)";
+  const struct {
+    const char* label;
+    std::uint64_t value;
+  } rows[] = {
+      {"bad headers", bad_headers},
+      {"truncated records", truncated_records},
+      {"oversized records", oversized_records},
+      {"bad lines", bad_lines},
+      {"out-of-order timestamps", out_of_order},
+      {"skipped frames", skipped_frames},
+      {"short captures", short_captures},
+      {"unknown transports", unknown_transports},
+      {"unknown protocols", unknown_protocols},
+      {"missing '?' fields", missing_fields},
+  };
+  for (const auto& row : rows) {
+    if (row.value != 0) os << "\n  " << row.label << ": " << row.value;
+  }
+  return os.str();
+}
+
+void report(IngestStats& stats, std::uint64_t IngestStats::* counter,
+            ParseMode mode, const std::string& what) {
+  ++(stats.*counter);
+  if (mode == ParseMode::kStrict) throw IngestError("ingest: " + what);
+}
+
+}  // namespace wan::ingest

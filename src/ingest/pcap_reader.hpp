@@ -1,0 +1,86 @@
+// Streaming libpcap reader built for adversarial input: the classic
+// 24-byte global header in either byte order (magic-based swap
+// detection), microsecond and nanosecond timestamp variants, and
+// per-record bounds checks so a truncated or corrupt capture degrades
+// into ledger entries instead of undefined behaviour.
+//
+// Supported link layers: Ethernet (DLT 1), raw IP (DLT 12 / 101), and
+// the BSD loopback header (DLT 0). Frames that are not first-fragment
+// IPv4 TCP/UDP are counted and skipped — the analysis record types only
+// model those two transports (src/trace/records.hpp).
+//
+// Memory is bounded by one record (capped at kMaxCaptureBytes): the
+// reader never materializes the file, so week-scale captures ingest
+// through the streaming pipeline in chunk-bounded memory.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/ingest/ingest_stats.hpp"
+#include "src/ingest/raw_packet.hpp"
+
+namespace wan::ingest {
+
+/// Upper bound on a record's captured length. Real snap lengths top out
+/// at 256 KiB; a length field above this is corruption, and because a
+/// pcap stream has no resync marker the reader stops at that point.
+inline constexpr std::uint32_t kMaxCaptureBytes = 1u << 20;
+
+class PcapReader {
+ public:
+  /// Opens `path` and parses the global header. Strict mode throws
+  /// IngestError on a malformed header; lenient mode records it and
+  /// yields an exhausted reader (next() == false, no crash).
+  /// Throws std::runtime_error in both modes if the file cannot be
+  /// opened at all.
+  PcapReader(const std::string& path, ParseMode mode);
+
+  /// Decodes the next IPv4 TCP/UDP packet. Returns false when the file
+  /// (or, in lenient mode, the parsable prefix of it) is exhausted.
+  bool next(RawPacket& out);
+
+  /// Rewinds to the first record and clears the ledger.
+  void reset();
+
+  const IngestStats& stats() const { return stats_; }
+
+  /// False when the global header was unusable (lenient mode only —
+  /// strict mode throws from the constructor instead).
+  bool header_ok() const { return header_ok_; }
+
+  /// Timestamp resolution: 1e-6 (usec magic) or 1e-9 (nsec magic).
+  double tick() const { return tick_; }
+
+  /// Link-layer type from the global header (1 Ethernet, 0 loopback,
+  /// 12/101 raw IP).
+  std::uint32_t linktype() const { return linktype_; }
+
+ private:
+  bool read_exact(void* dst, std::size_t n);
+  std::uint32_t u32(const unsigned char* p) const;
+  std::uint16_t u16(const unsigned char* p) const;
+  /// One pcap record; returns false at EOF/fatal, sets *decoded when the
+  /// record yielded an analysis packet.
+  bool read_record(RawPacket& out, bool* decoded);
+  bool decode_frame(const std::vector<unsigned char>& data, RawPacket& out);
+  bool decode_ip(const unsigned char* p, std::size_t len, RawPacket& out);
+
+  std::ifstream is_;
+  std::string path_;
+  ParseMode mode_;
+  IngestStats stats_;
+  bool swap_ = false;       ///< header fields are opposite-endian
+  double tick_ = 1e-6;
+  std::uint32_t linktype_ = 1;
+  bool header_ok_ = false;
+  bool fatal_ = false;      ///< unrecoverable mid-file corruption (lenient)
+  double prev_time_ = 0.0;
+  bool any_record_ = false;
+  std::streampos data_offset_;
+  std::vector<unsigned char> buf_;
+};
+
+}  // namespace wan::ingest

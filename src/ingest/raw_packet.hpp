@@ -1,0 +1,29 @@
+// The decoded form every packet-level input format (pcap, lbl-pkt ASCII)
+// reduces to before flow reconstruction: one transport-layer datagram
+// with addressing, TCP state bits, and payload size. The FlowTable folds
+// RawPackets into the repo's ConnRecord / PacketRecord types.
+#pragma once
+
+#include <cstdint>
+
+namespace wan::ingest {
+
+// TCP flag bits as they appear in the header's 13th byte.
+inline constexpr std::uint8_t kTcpFin = 0x01;
+inline constexpr std::uint8_t kTcpSyn = 0x02;
+inline constexpr std::uint8_t kTcpRst = 0x04;
+inline constexpr std::uint8_t kTcpAck = 0x10;
+
+struct RawPacket {
+  double time = 0.0;            ///< seconds (absolute capture timestamp)
+  std::uint32_t src_ip = 0;     ///< host byte order (or ITA host number)
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  bool tcp = true;              ///< false == UDP
+  std::uint8_t tcp_flags = 0;   ///< 0 for UDP and for ASCII formats
+  std::uint32_t payload_bytes = 0;  ///< transport payload (0 == pure ack)
+  bool multicast = false;       ///< destination is a class-D address
+};
+
+}  // namespace wan::ingest

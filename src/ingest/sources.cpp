@@ -1,0 +1,159 @@
+#include "src/ingest/sources.hpp"
+
+#include <algorithm>
+
+namespace wan::ingest {
+
+namespace {
+
+// One timestamp tick past the last packet puts it inside the half-open
+// analysis window [t_begin, t_end).
+double source_tick(const PcapReader& r) { return r.tick(); }
+double source_tick(const LblPktReader&) { return 1e-6; }  // μs timestamps
+
+const char* format_tag(const PcapReader&) { return "pcap:"; }
+const char* format_tag(const LblPktReader&) { return "lbl-pkt:"; }
+
+/// Prescan pass: the packet time range, with the reader left rewound.
+template <typename Reader>
+stream::StreamInfo prescan_packets(Reader& reader, const std::string& path) {
+  RawPacket pkt;
+  bool any = false;
+  double lo = 0.0, hi = 0.0;
+  while (reader.next(pkt)) {
+    if (!any) {
+      lo = hi = pkt.time;
+      any = true;
+    } else {
+      lo = std::min(lo, pkt.time);
+      hi = std::max(hi, pkt.time);
+    }
+  }
+  reader.reset();  // discards the prescan's ledger
+  stream::StreamInfo info;
+  info.name = format_tag(reader) + path;
+  info.t_begin = any ? lo : 0.0;
+  info.t_end = any ? hi + source_tick(reader) : 0.0;
+  return info;
+}
+
+}  // namespace
+
+// ------------------------------------------------------ PacketSourceImpl
+
+template <typename Reader>
+PacketSourceImpl<Reader>::PacketSourceImpl(const std::string& path,
+                                           ParseMode mode,
+                                           FlowTableConfig flow,
+                                           std::size_t chunk_size)
+    : reader_(path, mode), chunk_size_(chunk_size) {
+  flow.collect_connections = false;  // packet consumers never drain them
+  table_ = FlowTable(flow);
+  info_ = prescan_packets(reader_, path);
+}
+
+template <typename Reader>
+bool PacketSourceImpl<Reader>::next(std::vector<trace::PacketRecord>& chunk) {
+  chunk.clear();
+  RawPacket pkt;
+  while (chunk.size() < chunk_size_ && reader_.next(pkt)) {
+    chunk.push_back(table_.add(pkt));
+  }
+  return !chunk.empty();
+}
+
+template <typename Reader>
+void PacketSourceImpl<Reader>::reset() {
+  reader_.reset();
+  table_.clear();  // identical conn ids on the second pass
+}
+
+template class PacketSourceImpl<PcapReader>;
+template class PacketSourceImpl<LblPktReader>;
+
+// -------------------------------------------------------- FlowConnSource
+
+template <typename Reader>
+FlowConnSource<Reader>::FlowConnSource(const std::string& path,
+                                       ParseMode mode, FlowTableConfig flow,
+                                       std::size_t chunk_size)
+    : reader_(path, mode), table_(flow), chunk_size_(chunk_size) {
+  info_ = prescan_packets(reader_, path);
+}
+
+template <typename Reader>
+bool FlowConnSource<Reader>::next(std::vector<trace::ConnRecord>& chunk) {
+  chunk.clear();
+  while (chunk.size() < chunk_size_) {
+    if (pos_ < pending_.size()) {
+      chunk.push_back(pending_[pos_++]);
+      continue;
+    }
+    pending_.clear();
+    pos_ = 0;
+    RawPacket pkt;
+    while (pending_.empty()) {
+      if (reader_.next(pkt)) {
+        table_.add(pkt);
+        table_.take_closed(pending_);
+      } else if (!flushed_) {
+        table_.flush();  // capture ended: close what never saw a FIN
+        table_.take_closed(pending_);
+        flushed_ = true;
+      } else {
+        return !chunk.empty();
+      }
+    }
+  }
+  return !chunk.empty();
+}
+
+template <typename Reader>
+void FlowConnSource<Reader>::reset() {
+  reader_.reset();
+  table_.clear();
+  pending_.clear();
+  pos_ = 0;
+  flushed_ = false;
+}
+
+template class FlowConnSource<PcapReader>;
+template class FlowConnSource<LblPktReader>;
+
+// --------------------------------------------------------- LblConnSource
+
+LblConnSource::LblConnSource(const std::string& path, ParseMode mode,
+                             std::size_t chunk_size)
+    : reader_(path, mode), chunk_size_(chunk_size) {
+  trace::ConnRecord rec;
+  bool any = false;
+  double lo = 0.0, hi = 0.0;
+  while (reader_.next(rec)) {
+    const double end = rec.start + rec.duration;
+    if (!any) {
+      lo = rec.start;
+      hi = end;
+      any = true;
+    } else {
+      lo = std::min(lo, rec.start);
+      hi = std::max(hi, end);
+    }
+  }
+  reader_.reset();
+  info_.name = "lbl-conn:" + path;
+  info_.t_begin = any ? lo : 0.0;
+  info_.t_end = any ? hi : 0.0;
+}
+
+bool LblConnSource::next(std::vector<trace::ConnRecord>& chunk) {
+  chunk.clear();
+  trace::ConnRecord rec;
+  while (chunk.size() < chunk_size_ && reader_.next(rec)) {
+    chunk.push_back(rec);
+  }
+  return !chunk.empty();
+}
+
+void LblConnSource::reset() { reader_.reset(); }
+
+}  // namespace wan::ingest

@@ -1,0 +1,127 @@
+// Chunk-source adapters: each ingest reader exposed through the
+// streaming layer's pull contract, so real captures flow through the
+// same src/stream pipeline as synthesized traces, in chunk-bounded
+// memory.
+//
+// Sources are two-pass: the constructor prescans the file once to learn
+// the trace's time range (analyze_stream reads info() before any
+// records flow), then rewinds. The prescan's ledger is discarded on the
+// rewind — stats() reflects the emission pass only, so callers see each
+// defect counted exactly once.
+//
+//   * PacketSourceImpl<PcapReader / LblPktReader> — packets through a
+//     FlowTable (connection ids + protocol classification attached),
+//     emitted as PacketRecord chunks.
+//   * FlowConnSource<PcapReader / LblPktReader> — the same packets
+//     folded *into* connections: emits the ConnRecords the flow table
+//     closes, in closure order, flushing still-open flows at EOF.
+//   * LblConnSource — SYN/FIN connection logs read directly.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/ingest/flow_table.hpp"
+#include "src/ingest/ingest_stats.hpp"
+#include "src/ingest/ita_ascii.hpp"
+#include "src/ingest/pcap_reader.hpp"
+#include "src/stream/chunk.hpp"
+#include "src/stream/conn_chunk.hpp"
+
+namespace wan::ingest {
+
+/// Packet chunk source that also carries an ingest error ledger.
+class IngestPacketSource : public stream::PacketChunkSource {
+ public:
+  virtual const IngestStats& stats() const = 0;
+};
+
+/// Connection chunk source that also carries an ingest error ledger.
+class IngestConnSource : public stream::ConnChunkSource {
+ public:
+  virtual const IngestStats& stats() const = 0;
+};
+
+/// Packets from a capture file, each folded through a FlowTable so the
+/// emitted PacketRecords carry conn ids and port-classified protocols.
+/// Reader is PcapReader or LblPktReader.
+template <typename Reader>
+class PacketSourceImpl final : public IngestPacketSource {
+ public:
+  /// Opens and prescans `path`. Strict mode throws IngestError on the
+  /// first structural defect (possibly from the prescan); lenient mode
+  /// never throws past the initial open.
+  PacketSourceImpl(const std::string& path, ParseMode mode,
+                   FlowTableConfig flow = {},
+                   std::size_t chunk_size = stream::kDefaultChunkSize);
+
+  const stream::StreamInfo& info() const override { return info_; }
+  bool next(std::vector<trace::PacketRecord>& chunk) override;
+  void reset() override;
+
+  const IngestStats& stats() const override { return reader_.stats(); }
+  const FlowTable& flow_table() const { return table_; }
+
+ private:
+  Reader reader_;
+  FlowTable table_;
+  stream::StreamInfo info_;
+  std::size_t chunk_size_;
+};
+
+using PcapPacketSource = PacketSourceImpl<PcapReader>;
+using LblPktPacketSource = PacketSourceImpl<LblPktReader>;
+
+/// The same packet formats reduced to SYN/FIN-style connection records:
+/// chunks hold the connections the flow table closed, in closure order;
+/// at end of input every still-open flow is flushed. collect_conns +
+/// sort_by_start yields a ConnTrace ready for the Section-III analyses.
+template <typename Reader>
+class FlowConnSource final : public IngestConnSource {
+ public:
+  FlowConnSource(const std::string& path, ParseMode mode,
+                 FlowTableConfig flow = {},
+                 std::size_t chunk_size = stream::kDefaultChunkSize);
+
+  const stream::StreamInfo& info() const override { return info_; }
+  bool next(std::vector<trace::ConnRecord>& chunk) override;
+  void reset() override;
+
+  const IngestStats& stats() const override { return reader_.stats(); }
+  const FlowTable& flow_table() const { return table_; }
+
+ private:
+  Reader reader_;
+  FlowTable table_;
+  stream::StreamInfo info_;
+  std::size_t chunk_size_;
+  std::vector<trace::ConnRecord> pending_;
+  std::size_t pos_ = 0;
+  bool flushed_ = false;
+};
+
+using PcapConnSource = FlowConnSource<PcapReader>;
+using LblPktConnSource = FlowConnSource<LblPktReader>;
+
+/// lbl-conn-7 connection logs, streamed directly (no reconstruction —
+/// the archive already reduced them to SYN/FIN records).
+class LblConnSource final : public IngestConnSource {
+ public:
+  LblConnSource(const std::string& path, ParseMode mode,
+                std::size_t chunk_size = stream::kDefaultChunkSize);
+
+  const stream::StreamInfo& info() const override { return info_; }
+  bool next(std::vector<trace::ConnRecord>& chunk) override;
+  void reset() override;
+
+  const IngestStats& stats() const override { return reader_.stats(); }
+
+ private:
+  LblConnReader reader_;
+  stream::StreamInfo info_;
+  std::size_t chunk_size_;
+};
+
+}  // namespace wan::ingest

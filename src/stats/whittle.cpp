@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <functional>
+#include <map>
+#include <span>
 #include <stdexcept>
+#include <vector>
 
 #include "src/fft/periodogram.hpp"
 #include "src/par/parallel.hpp"
@@ -54,6 +57,113 @@ namespace {
 
 using DensityFn = double (*)(double lambda, double theta);
 
+// Per-candidate-theta density evaluation strategy. prepare(theta) runs
+// once per candidate; at(j) is then called for every ordinate from the
+// reduction workers, so it must be pure reads.
+class DensityEvaluator {
+ public:
+  virtual ~DensityEvaluator() = default;
+  virtual void prepare(double theta) = 0;
+  virtual double at(std::size_t j) const = 0;
+};
+
+// Calls the full density function at every ordinate — the reference
+// path, and the right one for cheap densities (fARIMA is one pow()).
+class DirectEvaluator final : public DensityEvaluator {
+ public:
+  DirectEvaluator(std::span<const double> freq, DensityFn density)
+      : freq_(freq), density_(density) {}
+  void prepare(double theta) override { theta_ = theta; }
+  double at(std::size_t j) const override {
+    return density_(freq_[j], theta_);
+  }
+
+ private:
+  std::span<const double> freq_;
+  DensityFn density_;
+  double theta_ = 0.5;
+};
+
+// Caches the expensive part of the fGn density across ordinates.
+//
+// f(lambda; H) = 2 c_f(H) * 2 sin^2(lambda/2) * [lambda^e + S(lambda; H)],
+// e = -(2H+1), where S is the j >= 1 series plus its integral tail —
+// ~100 pow() calls. S is smooth and even on [0, pi] (its singular
+// lambda^e sibling is split out and computed exactly per ordinate from a
+// cached log lambda), so per candidate H it is evaluated with its
+// analytic derivative on a 513-node uniform grid and cubic-Hermite
+// interpolated everywhere else. Max relative interpolation error is
+// ~1e-9 over H in (0, 1) — an order below the series truncation error
+// of fgn_spectral_density itself — while the per-candidate cost stops
+// scaling with m: the golden-section search over a 2^20-sample
+// periodogram goes from ~5e9 to ~5e7 pow-equivalents.
+//
+// The 2 sin^2(lambda/2) weight and log lambda are per-ordinate
+// constants shared by every candidate, cached at construction.
+class FgnGridEvaluator final : public DensityEvaluator {
+ public:
+  explicit FgnGridEvaluator(std::span<const double> freq)
+      : lambda_(freq.begin(), freq.end()) {
+    log_lambda_.resize(lambda_.size());
+    weight_.resize(lambda_.size());
+    for (std::size_t j = 0; j < lambda_.size(); ++j) {
+      log_lambda_[j] = std::log(lambda_[j]);
+      const double half = std::sin(0.5 * lambda_[j]);
+      weight_[j] = 2.0 * half * half;
+    }
+  }
+
+  void prepare(double hurst) override {
+    const double two_h = 2.0 * hurst;
+    e_ = -(two_h + 1.0);
+    cf2_ = std::sin(M_PI * hurst) * std::tgamma(two_h + 1.0) / M_PI;
+    constexpr int kJ = 50;  // matches fgn_spectral_density
+    const double edge = 2.0 * M_PI * (kJ + 0.5);
+    for (int i = 0; i < kNodes; ++i) {
+      const double lambda = static_cast<double>(i) * kStep;
+      double s = 0.0, ds = 0.0;
+      for (int j = 1; j <= kJ; ++j) {
+        const double a = 2.0 * M_PI * j + lambda;
+        const double b = 2.0 * M_PI * j - lambda;
+        const double pa = std::pow(a, e_);
+        const double pb = std::pow(b, e_);
+        s += pa + pb;
+        ds += e_ * (pa / a - pb / b);
+      }
+      s += (std::pow(edge + lambda, -two_h) +
+            std::pow(edge - lambda, -two_h)) /
+           (2.0 * M_PI * two_h);
+      ds += (std::pow(edge - lambda, e_) - std::pow(edge + lambda, e_)) /
+            (2.0 * M_PI);
+      node_val_[i] = s;
+      node_der_[i] = ds;
+    }
+  }
+
+  double at(std::size_t j) const override {
+    const double u = lambda_[j] * (1.0 / kStep);
+    int i = static_cast<int>(u);
+    if (i > kNodes - 2) i = kNodes - 2;
+    const double t = u - static_cast<double>(i);
+    const double t2 = t * t;
+    const double t3 = t2 * t;
+    const double series =
+        (2.0 * t3 - 3.0 * t2 + 1.0) * node_val_[i] +
+        (t3 - 2.0 * t2 + t) * kStep * node_der_[i] +
+        (-2.0 * t3 + 3.0 * t2) * node_val_[i + 1] +
+        (t3 - t2) * kStep * node_der_[i + 1];
+    return cf2_ * weight_[j] * (std::exp(e_ * log_lambda_[j]) + series);
+  }
+
+ private:
+  static constexpr int kNodes = 513;
+  static constexpr double kStep = M_PI / (kNodes - 1);
+
+  std::vector<double> lambda_, log_lambda_, weight_;
+  double node_val_[kNodes] = {}, node_der_[kNodes] = {};
+  double e_ = -2.0, cf2_ = 0.0;
+};
+
 // Profiled Whittle objective Q(theta) and the profiled scale.
 struct Objective {
   double q;
@@ -68,17 +178,18 @@ struct ObjectiveSums {
   double logf = 0.0;
 };
 
-Objective whittle_objective(const fft::Periodogram& pg, DensityFn density,
-                            double theta) {
+Objective whittle_objective(const fft::Periodogram& pg,
+                            DensityEvaluator& density, double theta) {
   const std::size_t m = pg.frequency.size();
-  // The density costs ~50 pow() calls per ordinate, so even modest chunks
-  // amortize well; 256 keeps plenty of chunks for 4-8 threads at the
-  // usual m of a few thousand.
+  density.prepare(theta);
+  // Even the interpolated density costs an exp() per ordinate, so modest
+  // chunks amortize well; 256 keeps plenty of chunks for 4-8 threads at
+  // the usual m of a few thousand.
   constexpr std::size_t kGrain = 256;
   const ObjectiveSums sums = par::parallel_transform_reduce(
       std::size_t{0}, m, kGrain, ObjectiveSums{},
       [&](std::size_t j) {
-        const double f = density(pg.frequency[j], theta);
+        const double f = density.at(j);
         return ObjectiveSums{pg.ordinate[j] / f, std::log(f)};
       },
       [](ObjectiveSums a, ObjectiveSums b) {
@@ -119,19 +230,28 @@ double golden_minimize(const std::function<double(double)>& f, double lo,
 
 // Shared estimation driver over a single shape parameter theta in
 // [theta_min, theta_max]; `to_hurst` converts the fitted theta into the
-// reported Hurst units.
-WhittleResult whittle_estimate(const fft::Periodogram& pg, DensityFn density,
-                               double theta_min, double theta_max,
-                               double (*to_hurst)(double)) {
+// reported Hurst units. Objective values are memoized per exact theta:
+// the search re-visits the grid winner and the minimizer, and each
+// repeat saves a full density pass.
+WhittleResult whittle_estimate(const fft::Periodogram& pg,
+                               DensityEvaluator& density, double theta_min,
+                               double theta_max, double (*to_hurst)(double)) {
   if (pg.frequency.size() < 8)
     throw std::invalid_argument("whittle: too few periodogram ordinates");
+
+  std::map<double, Objective> memo;
+  const auto objective = [&](double t) -> const Objective& {
+    const auto it = memo.find(t);
+    if (it != memo.end()) return it->second;
+    return memo.emplace(t, whittle_objective(pg, density, t)).first->second;
+  };
 
   // Coarse grid to localize the minimum (the objective is smooth and in
   // practice unimodal), then golden-section refinement.
   double best_t = 0.5 * (theta_min + theta_max), best_q = HUGE_VAL;
   const double grid = (theta_max - theta_min) / 20.0;
   for (double t = theta_min; t <= theta_max; t += grid) {
-    const double q = whittle_objective(pg, density, t).q;
+    const double q = objective(t).q;
     if (q < best_q) {
       best_q = q;
       best_t = t;
@@ -140,12 +260,9 @@ WhittleResult whittle_estimate(const fft::Periodogram& pg, DensityFn density,
   const double lo = std::max(theta_min, best_t - 1.2 * grid);
   const double hi = std::min(theta_max, best_t + 1.2 * grid);
   const double t_hat = golden_minimize(
-      [&pg, density](double t) {
-        return whittle_objective(pg, density, t).q;
-      },
-      lo, hi, 1e-5);
+      [&objective](double t) { return objective(t).q; }, lo, hi, 1e-5);
 
-  const Objective at_min = whittle_objective(pg, density, t_hat);
+  const Objective at_min = objective(t_hat);
 
   WhittleResult r;
   r.hurst = to_hurst(t_hat);
@@ -158,8 +275,8 @@ WhittleResult whittle_estimate(const fft::Periodogram& pg, DensityFn density,
   const double dt = 1e-3;
   const double t_lo = std::max(theta_min, t_hat - dt);
   const double t_hi = std::min(theta_max, t_hat + dt);
-  const double q_lo = whittle_objective(pg, density, t_lo).q;
-  const double q_hi = whittle_objective(pg, density, t_hi).q;
+  const double q_lo = objective(t_lo).q;
+  const double q_hi = objective(t_hi).q;
   const double step = 0.5 * (t_hi - t_lo);
   const double second = (q_lo - 2.0 * at_min.q + q_hi) / (step * step);
   const double m = static_cast<double>(pg.frequency.size());
@@ -175,8 +292,14 @@ double d_to_hurst(double d) { return d + 0.5; }
 }  // namespace
 
 WhittleResult whittle_fgn_from_periodogram(const fft::Periodogram& pg) {
-  return whittle_estimate(pg, &fgn_spectral_density, 0.02, 0.99,
-                          &identity_map);
+  FgnGridEvaluator density(pg.frequency);
+  return whittle_estimate(pg, density, 0.02, 0.99, &identity_map);
+}
+
+WhittleResult whittle_fgn_direct_from_periodogram(
+    const fft::Periodogram& pg) {
+  DirectEvaluator density(pg.frequency, &fgn_spectral_density);
+  return whittle_estimate(pg, density, 0.02, 0.99, &identity_map);
 }
 
 WhittleResult whittle_fgn(std::span<const double> x) {
@@ -185,8 +308,10 @@ WhittleResult whittle_fgn(std::span<const double> x) {
 }
 
 WhittleResult whittle_farima_from_periodogram(const fft::Periodogram& pg) {
-  return whittle_estimate(pg, &farima_spectral_density, -0.45, 0.49,
-                          &d_to_hurst);
+  // fARIMA's density is a single pow() — evaluating it directly is
+  // already cheaper than any grid.
+  DirectEvaluator density(pg.frequency, &farima_spectral_density);
+  return whittle_estimate(pg, density, -0.45, 0.49, &d_to_hurst);
 }
 
 WhittleResult whittle_farima(std::span<const double> x) {

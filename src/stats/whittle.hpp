@@ -43,6 +43,16 @@ WhittleResult whittle_fgn(std::span<const double> x);
 /// Same, but starting from a precomputed periodogram.
 WhittleResult whittle_fgn_from_periodogram(const fft::Periodogram& pg);
 
+/// Reference path that re-evaluates fgn_spectral_density at every
+/// ordinate for every candidate H. whittle_fgn* instead evaluate the
+/// smooth part of the density once per H on a coarse grid and
+/// interpolate (~1e-9 relative error, far below the series truncation
+/// already inside fgn_spectral_density), which drops the per-candidate
+/// cost from m * 100 pow() calls to ~50k regardless of m. Kept for
+/// accuracy cross-checks and the before/after perf row in
+/// BENCH_perf.json.
+WhittleResult whittle_fgn_direct_from_periodogram(const fft::Periodogram& pg);
+
 /// Unit-scale spectral density of fractional ARIMA(0, d, 0):
 ///   f(lambda; d) = |2 sin(lambda/2)|^{-2d} / (2 pi).
 /// The alternative long-memory family Section VII-D mentions when traces

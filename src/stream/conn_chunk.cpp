@@ -1,0 +1,15 @@
+#include "src/stream/conn_chunk.hpp"
+
+namespace wan::stream {
+
+trace::ConnTrace collect_conns(ConnChunkSource& source) {
+  const StreamInfo& info = source.info();
+  trace::ConnTrace tr(info.name, info.t_begin, info.t_end);
+  std::vector<trace::ConnRecord> chunk;
+  while (source.next(chunk)) {
+    for (const trace::ConnRecord& r : chunk) tr.add(r);
+  }
+  return tr;
+}
+
+}  // namespace wan::stream

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Regenerates the hand-crafted ingestion fixtures in this directory.
+
+The fixtures are committed (tests must not depend on Python at build
+time); run this script only when the fixture story changes, from the
+repository root:
+
+    python3 tests/data/make_fixtures.py
+
+Fixture inventory — pcap (all describe the same 13-packet conversation
+so endian/precision variants can be compared record for record):
+
+  tiny_le.pcap    little-endian usec capture, Ethernet link type
+  tiny_be.pcap    the same capture with every pcap header byte-swapped
+  tiny_nsec.pcap  the same capture with the nanosecond magic
+  tiny_ooo.pcap   the same capture with two records swapped (timestamp
+                  goes backwards: strict rejects, lenient counts)
+  trunc.pcap      tiny_le.pcap cut mid-record (full-disk style)
+  badmagic.pcap   not a pcap file at all
+
+The conversation: a TELNET connection (SYN/SYN+ACK/data/FIN×2), an FTP
+control connection (flushed at EOF, no FIN from the responder), an
+active-mode FTPDATA connection opened *by the server from port 20*
+while the control connection is live (so flow reconstruction must stamp
+the control conn id as its session), closed by RST, a UDP DNS query,
+and one ARP frame every reader must skip.
+
+ITA ASCII fixtures:
+
+  sample.lbl-conn   lbl-conn-7 rows incl. "?" fields and an unmapped
+                    service name
+  corrupt.lbl-conn  valid rows interleaved with structurally bad lines
+  sample.lbl-pkt    sanitize-tcp style packet rows (two conversations
+                    separated by a long idle gap)
+  corrupt.lbl-pkt   valid rows interleaved with bad lines
+"""
+import struct
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+HOST1 = 0x0A000001  # 10.0.0.1
+HOST2 = 0x0A000002  # 10.0.0.2
+HOST3 = 0x0A000003  # 10.0.0.3
+
+FIN, SYN, RST, PSH, ACK = 0x01, 0x02, 0x04, 0x08, 0x10
+
+
+def ipv4(src, dst, proto, transport, payload_len):
+    total = 20 + len(transport) + payload_len
+    hdr = struct.pack(
+        ">BBHHHBBHII", 0x45, 0, total, 0x1234, 0, 64, proto, 0, src, dst
+    )
+    return hdr + transport
+
+
+def ether(frame_payload, ethertype=0x0800):
+    return b"\xaa" * 6 + b"\xbb" * 6 + struct.pack(">H", ethertype) + frame_payload
+
+
+def packet(t_usec, src, dst, sport, dport, flags, payload, proto=6):
+    if proto == 6:
+        transport = struct.pack(
+            ">HHIIBBHHH", sport, dport, 1000, 2000, 5 << 4, flags, 8192, 0, 0
+        )
+    else:  # UDP
+        transport = struct.pack(">HHHH", sport, dport, 8 + payload, 0)
+    frame = ether(ipv4(src, dst, proto, transport, payload))
+    orig_len = len(frame) + payload  # snaplen chopped the payload off
+    return (t_usec, frame, orig_len)
+
+
+def arp_frame(t_usec):
+    frame = ether(b"\x00" * 28, ethertype=0x0806)
+    return (t_usec, frame, len(frame))
+
+
+# (time_usec, frame, orig_len) — the 13-packet conversation plus ARP.
+PACKETS = [
+    # TELNET: host1:1025 -> host2:23
+    packet(100_000_000, HOST1, HOST2, 1025, 23, SYN, 0),
+    packet(100_100_000, HOST2, HOST1, 23, 1025, SYN | ACK, 0),
+    packet(100_200_000, HOST1, HOST2, 1025, 23, PSH | ACK, 100),
+    packet(100_300_000, HOST2, HOST1, 23, 1025, PSH | ACK, 50),
+    arp_frame(100_400_000),  # not IPv4: skipped, counted
+    packet(101_000_000, HOST1, HOST2, 1025, 23, FIN | ACK, 0),
+    packet(101_100_000, HOST2, HOST1, 23, 1025, FIN | ACK, 0),
+    # FTP control: host1:1026 -> host2:21 (never fully closed)
+    packet(102_000_000, HOST1, HOST2, 1026, 21, SYN, 0),
+    packet(102_500_000, HOST1, HOST2, 1026, 21, PSH | ACK, 20),
+    # Active-mode FTPDATA: server opens host2:20 -> host1:1027
+    packet(103_000_000, HOST2, HOST1, 20, 1027, SYN, 0),
+    packet(103_200_000, HOST2, HOST1, 20, 1027, ACK, 1000),
+    packet(103_500_000, HOST1, HOST2, 1027, 20, RST, 0),
+    # UDP DNS query host1:3000 -> host3:53
+    packet(104_000_000, HOST1, HOST3, 3000, 53, 0, 30, proto=17),
+    # FTP control FIN from the originator only
+    packet(105_000_000, HOST1, HOST2, 1026, 21, FIN | ACK, 0),
+]
+
+
+def write_pcap(path, packets, *, big=False, nsec=False):
+    e = ">" if big else "<"
+    magic = 0xA1B23C4D if nsec else 0xA1B2C3D4
+    scale = 1000 if nsec else 1  # fixture times are exact usec
+    with open(path, "wb") as f:
+        f.write(struct.pack(e + "IHHiIII", magic, 2, 4, 0, 0, 65535, 1))
+        for t_usec, frame, orig_len in packets:
+            f.write(
+                struct.pack(
+                    e + "IIII",
+                    t_usec // 1_000_000,
+                    (t_usec % 1_000_000) * scale,
+                    len(frame),
+                    orig_len,
+                )
+            )
+            f.write(frame)
+
+
+def main():
+    write_pcap(HERE / "tiny_le.pcap", PACKETS)
+    write_pcap(HERE / "tiny_be.pcap", PACKETS, big=True)
+    write_pcap(HERE / "tiny_nsec.pcap", PACKETS, nsec=True)
+
+    ooo = list(PACKETS)
+    ooo[2], ooo[3] = ooo[3], ooo[2]  # timestamp steps backwards once
+    write_pcap(HERE / "tiny_ooo.pcap", ooo)
+
+    whole = (HERE / "tiny_le.pcap").read_bytes()
+    (HERE / "trunc.pcap").write_bytes(whole[:-10])  # mid-record cut
+    (HERE / "badmagic.pcap").write_bytes(b"NOTPCAP!" + b"\x00" * 40)
+
+    (HERE / "sample.lbl-conn").write_text(
+        "# LBL-CONN-7 sample: timestamp duration protocol"
+        " bytes_orig bytes_resp local remote\n"
+        "802397.21 58.1 telnet 111 222 2 15\n"
+        "802400.50 ? ftp 100 ? 3 15 extra trailing fields ignored\n"
+        "802405.00 12.5 ftp-data 0 50000 3 15\n"
+        "802410.00 3.2 smtp 300 120 4 16\n"
+        "802415.00 1.0 nntp 10 2000 2 17\n"
+        "802420.00 0.5 finger 20 40 2 15\n"
+        "802425.00 4.0 www 150 3000 5 18\n"
+    )
+    (HERE / "corrupt.lbl-conn").write_text(
+        "802397.21 58.1 telnet 111 222 2 15\n"
+        "802400.00 too few\n"
+        "not-a-time 1.0 smtp 10 20 2 15\n"
+        "802425.00 4.0 www 150 3000 5 18\n"
+    )
+
+    (HERE / "sample.lbl-pkt").write_text(
+        "# sanitize-tcp sample: timestamp src dst sport dport bytes\n"
+        "0.000000 1 2 1025 23 0\n"
+        "0.010000 2 1 23 1025 0\n"
+        "0.020000 1 2 1025 23 100\n"
+        "0.030000 2 1 23 1025 512\n"
+        # > 2 s idle gap: with a small --idle-timeout this splits flows
+        "5.000000 3 2 1026 119 0\n"
+        "5.010000 2 3 119 1026 1024\n"
+        "5.020000 3 2 1026 119 0\n"
+    )
+    (HERE / "corrupt.lbl-pkt").write_text(
+        "0.000000 1 2 1025 23 0\n"
+        "0.010000 2 1 23\n"
+        "0.020000 1 2 1025 23 minus\n"
+        "0.030000 2 1 23 1025 512\n"
+    )
+    print("fixtures written to", HERE)
+
+
+if __name__ == "__main__":
+    main()

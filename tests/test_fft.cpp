@@ -2,10 +2,12 @@
 
 #include <cmath>
 #include <complex>
+#include <span>
 #include <vector>
 
 #include "src/fft/fft.hpp"
 #include "src/fft/periodogram.hpp"
+#include "src/fft/plan.hpp"
 #include "src/rng/rng.hpp"
 #include "src/stats/descriptive.hpp"
 
@@ -155,6 +157,33 @@ TEST(Periodogram, MeanRemovalKillsDcLeakage) {
 TEST(Periodogram, RejectsTinyInput) {
   std::vector<double> x(3, 1.0);
   EXPECT_THROW(periodogram(x), std::invalid_argument);
+}
+
+TEST(Periodogram, OddLengthTrimsToEvenPlannedTransform) {
+  rng::Rng rng(13);
+  std::vector<double> x(1001);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+
+  reset_plan_caches();
+  const auto odd = periodogram(x);
+  const auto even = periodogram(std::span<const double>(x).first(1000));
+
+  // The odd series is trimmed by one sample, so the two calls see the
+  // same data and must agree bitwise.
+  ASSERT_EQ(odd.ordinate.size(), even.ordinate.size());
+  for (std::size_t j = 0; j < odd.ordinate.size(); ++j) {
+    EXPECT_EQ(odd.frequency[j], even.frequency[j]) << "j=" << j;
+    EXPECT_EQ(odd.ordinate[j], even.ordinate[j]) << "j=" << j;
+  }
+
+  // Both transforms went through the planned even-size real path: one
+  // miss built the n = 1000 plan and the second call hit it. Had the
+  // odd call taken rfft's widened fallback, the real-plan cache would
+  // have seen only one access total.
+  const auto rs = rfft_plan_cache_stats();
+  EXPECT_EQ(rs.misses, 1u);
+  EXPECT_EQ(rs.hits, 1u);
+  EXPECT_EQ(rs.entries, 1u);
 }
 
 }  // namespace

@@ -100,6 +100,25 @@ TEST(Whittle, RejectsTinySeries) {
   EXPECT_THROW(whittle_fgn(std::vector<double>(8, 1.0)), std::exception);
 }
 
+TEST(Whittle, GridEvaluatorMatchesDirectDensityPath) {
+  // whittle_fgn interpolates the smooth part of the fGn density from a
+  // coarse grid; the fit must agree with the reference path that calls
+  // fgn_spectral_density at every ordinate to far better than the
+  // estimator's own statistical error.
+  for (double h : {0.55, 0.8, 0.95}) {
+    rng::Rng rng(31 + static_cast<std::uint64_t>(h * 100));
+    const auto x = selfsim::generate_fgn(rng, 8192, h);
+    const auto pg = fft::periodogram(x);
+    const auto fast = whittle_fgn_from_periodogram(pg);
+    const auto direct = whittle_fgn_direct_from_periodogram(pg);
+    EXPECT_NEAR(fast.hurst, direct.hurst, 2e-5) << "H=" << h;
+    EXPECT_NEAR(fast.scale, direct.scale, 1e-5 * direct.scale);
+    EXPECT_NEAR(fast.objective, direct.objective, 1e-6);
+    EXPECT_NEAR(fast.stderr_hurst, direct.stderr_hurst,
+                1e-3 * direct.stderr_hurst + 1e-9);
+  }
+}
+
 // ------------------------------------------------------------- Beran
 
 TEST(Beran, ExactFgnIsConsistent) {

@@ -7,6 +7,14 @@
 //       [--binary] [--filtered] [--vt-csv FILE] [--stream] [--chunk N]
 //       Count-process Hurst battery (VT, R/S, GPH, Whittle, Beran).
 //
+// Both modes also accept --ingest-format=pcap|lbl-conn|lbl-pkt to read
+// a real capture (libpcap binary or an Internet Traffic Archive ASCII
+// format) instead of this repo's trace files: packets are folded
+// through flow reconstruction (src/ingest) on the way in, so the
+// analyses below see the same record types either way. Ingestion is
+// strict by default; --lenient salvages damaged captures and prints the
+// error ledger.
+//
 // --stream runs the packet analysis through the chunked pipeline
 // (src/stream): the file is never materialized in memory, yet the
 // results — including the --vt-csv figure file — are byte-identical to
@@ -17,6 +25,7 @@
 #include <string>
 
 #include "src/core/poisson_report.hpp"
+#include "src/ingest/ingest.hpp"
 #include "src/selfsim/hurst_report.hpp"
 #include "src/stats/tail_fit.hpp"
 #include "src/stream/binary_chunk.hpp"
@@ -40,12 +49,51 @@ int usage() {
                "  wantraffic_analyze pkt FILE [--bin SEC] "
                "[--protocol NAME] [--binary]\n"
                "                         [--filtered] [--vt-csv FILE] "
-               "[--stream] [--chunk N]\n");
+               "[--stream] [--chunk N]\n"
+               "  either mode: [--ingest-format pcap|lbl-conn|lbl-pkt] "
+               "[--lenient]\n");
   return 2;
 }
 
+// --ingest-format parsed into an IngestFormat, or nullopt when the flag
+// is absent (the repo's own trace formats). Exits via exception on an
+// unknown spelling.
+std::optional<ingest::IngestFormat> ingest_format(
+    const tools::ArgParser& args) {
+  const std::string* s = args.value("--ingest-format");
+  if (s == nullptr) return std::nullopt;
+  const auto format = ingest::ingest_format_from_string(*s);
+  if (!format)
+    throw std::invalid_argument("unknown ingest format " + *s +
+                                " (want pcap, lbl-conn or lbl-pkt)");
+  return format;
+}
+
+ingest::IngestOptions ingest_options(const tools::ArgParser& args) {
+  ingest::IngestOptions opt;
+  opt.mode = args.has("--lenient") ? ingest::ParseMode::kLenient
+                                   : ingest::ParseMode::kStrict;
+  opt.chunk_size = static_cast<std::size_t>(
+      args.number("--chunk", static_cast<double>(opt.chunk_size)));
+  return opt;
+}
+
+void print_ingest_ledger(const ingest::IngestStats& stats) {
+  const std::string ledger = stats.to_string();
+  if (!ledger.empty())
+    std::printf("\ningest ledger:\n%s\n", ledger.c_str());
+}
+
 int run_conn(const std::string& path, const tools::ArgParser& args) {
-  auto tr = trace::read_conn_csv_file(path);
+  trace::ConnTrace tr;
+  if (const auto format = ingest_format(args)) {
+    ingest::IngestStats stats;
+    tr = ingest::reconstruct_conn_trace(path, *format, ingest_options(args),
+                                        &stats);
+    print_ingest_ledger(stats);
+  } else {
+    tr = trace::read_conn_csv_file(path);
+  }
   std::printf("loaded %zu connection records from %s\n", tr.size(),
               path.c_str());
   if (args.has("--deperiodic")) {
@@ -114,6 +162,22 @@ int run_pkt(const std::string& path, const tools::ArgParser& args) {
   opt.chunk_size = static_cast<std::size_t>(
       args.number("--chunk", static_cast<double>(opt.chunk_size)));
 
+  if (const auto format = ingest_format(args)) {
+    const auto src =
+        ingest::open_packet_source(path, *format, ingest_options(args));
+    stream::PipelineResult result;
+    if (args.has("--stream")) {
+      result = stream::analyze_stream(*src, opt);
+    } else {
+      result = stream::analyze_batch(stream::collect(*src), opt);
+    }
+    std::printf("ingested %llu packets from %s (%s)\n",
+                static_cast<unsigned long long>(result.packets), path.c_str(),
+                src->info().name.c_str());
+    print_ingest_ledger(src->stats());
+    return report_pkt(result, args);
+  }
+
   if (args.has("--stream")) {
     stream::PipelineResult result;
     if (args.has("--binary")) {
@@ -143,6 +207,8 @@ int main(int argc, char** argv) {
   args.add_flag("--binary");
   args.add_flag("--filtered");
   args.add_flag("--stream");
+  args.add_flag("--lenient");
+  args.add_option("--ingest-format");
   args.add_option("--interval");
   args.add_option("--bin");
   args.add_option("--protocol");
