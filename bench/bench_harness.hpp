@@ -66,14 +66,29 @@ class Harness {
 
   std::size_t threads() const { return threads_; }
 
+  /// Appends rows/sec and bytes/sec extras derived from the row's best
+  /// time: rows_per_s is the throughput in items (records) per second,
+  /// bytes_per_s scales it by the per-item byte width. Benches that know
+  /// their record size call this (or pass bytes_per_item to compare /
+  /// serial_only) so BENCH_perf.json rows carry both rate columns.
+  static void add_rates(BenchResult& r, double bytes_per_item) {
+    std::ostringstream rows, bytes;
+    rows << r.throughput;
+    bytes << r.throughput * bytes_per_item;
+    r.extra.emplace_back("rows_per_s", rows.str());
+    r.extra.emplace_back("bytes_per_s", bytes.str());
+  }
+
   /// Times `run_serial` at 1 thread and `run_parallel` at threads(); the
   /// two closures should write their outputs into distinct caller-held
   /// slots which `identical` then compares. Runs repeat `reps` times, so
-  /// they must be idempotent for a fixed seed.
+  /// they must be idempotent for a fixed seed. bytes_per_item > 0 adds
+  /// the rows/sec + bytes/sec extras.
   void compare(const std::string& op, double items, const std::string& unit,
                const std::function<void()>& run_serial,
                const std::function<void()>& run_parallel,
-               const std::function<bool()>& identical, int reps = 3) {
+               const std::function<bool()>& identical, int reps = 3,
+               double bytes_per_item = 0.0) {
     BenchResult r;
     r.op = op;
     r.threads = threads_;
@@ -91,13 +106,14 @@ class Harness {
         r.parallel_ms < r.serial_ms ? r.parallel_ms : r.serial_ms;
     r.throughput = best > 0.0 ? items / (best / 1000.0) : 0.0;
     r.identical = identical();
+    if (bytes_per_item > 0.0) add_rates(r, bytes_per_item);
     add(r);
   }
 
   /// Times a serial-only op (no parallel path); speedup is reported as 1.
   void serial_only(const std::string& op, double items,
                    const std::string& unit, const std::function<void()>& run,
-                   int reps = 3) {
+                   int reps = 3, double bytes_per_item = 0.0) {
     BenchResult r;
     r.op = op;
     r.threads = 1;
@@ -108,6 +124,7 @@ class Harness {
     r.parallel_ms = r.serial_ms;
     r.throughput =
         r.serial_ms > 0.0 ? items / (r.serial_ms / 1000.0) : 0.0;
+    if (bytes_per_item > 0.0) add_rates(r, bytes_per_item);
     add(r);
   }
 

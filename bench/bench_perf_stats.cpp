@@ -1,8 +1,18 @@
 // Perf bench for the estimation machinery: variance-time, Whittle, and
-// R/S serial vs parallel, plus serial FFT/periodogram micro-ops. Appends
-// results to BENCH_perf.json (see bench_harness.hpp).
+// R/S serial vs parallel, serial FFT/periodogram micro-ops, the
+// columnar-vs-row analysis pipeline, and the shared-periodogram Hurst
+// battery. Appends results to BENCH_perf.json (see bench_harness.hpp);
+// rows carry rows/sec + bytes/sec extras where the record width is
+// known.
+//
+// Usage: bench_perf_stats [JSON_PATH] [--smoke]
+// --smoke shrinks every input (and runs one rep) so CI can exercise the
+// full bench in seconds; the acceptance gate below (columnar >= 3x row
+// throughput, single-threaded) only applies to full runs.
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/bench_harness.hpp"
@@ -11,9 +21,15 @@
 #include "src/par/parallel.hpp"
 #include "src/rng/rng.hpp"
 #include "src/selfsim/fgn.hpp"
+#include "src/stats/beran.hpp"
+#include "src/stats/gph.hpp"
 #include "src/stats/rs_analysis.hpp"
 #include "src/stats/variance_time.hpp"
 #include "src/stats/whittle.hpp"
+#include "src/stream/columnar.hpp"
+#include "src/stream/pipeline.hpp"
+#include "src/synth/stream_synth.hpp"
+#include "src/synth/synthesizer.hpp"
 
 using namespace wan;
 
@@ -56,32 +72,101 @@ bool same_rs(const stats::RsAnalysis& a, const stats::RsAnalysis& b) {
   return true;
 }
 
+std::string fmt(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// Row-vs-columnar analysis of the same in-memory trace, both
+// single-threaded: "serial" is the retained per-record pipeline
+// (std::function filters, AoS loads), "parallel" is the columnar path
+// (selection vectors + per-column accumulator loops). identical means
+// the figure CSVs are byte-equal. Returns the speedup for the
+// acceptance gate.
+double bench_columnar(bench::Harness& harness, const char* op,
+                      const trace::PacketTrace& tr,
+                      const stream::PacketColumns& table,
+                      const stream::PipelineOptions& opt, int reps) {
+  stream::PipelineResult row_res, col_res;
+  const stream::StreamInfo info{tr.name(), tr.t_begin(), tr.t_end()};
+
+  bench::BenchResult r;
+  r.op = op;
+  r.threads = 1;
+  r.items = static_cast<double>(tr.size());
+  r.unit = "packets";
+  par::set_thread_count(1);
+  r.serial_ms = bench::min_time_ms(
+      [&] {
+        stream::TraceChunkSource src(tr, opt.chunk_size);
+        row_res = stream::analyze_stream_rows(src, opt);
+      },
+      reps);
+  r.parallel_ms = bench::min_time_ms(
+      [&] {
+        stream::ColumnTableSource src(table, info, opt.chunk_size);
+        col_res = stream::analyze_columns(src, opt);
+      },
+      reps);
+  r.speedup = r.parallel_ms > 0.0 ? r.serial_ms / r.parallel_ms : 1.0;
+  r.throughput =
+      r.parallel_ms > 0.0 ? r.items / (r.parallel_ms / 1000.0) : 0.0;
+  r.identical = stream::vt_csv(row_res) == stream::vt_csv(col_res);
+  bench::Harness::add_rates(r, stream::PacketColumns::kPacketColumnBytes);
+  const double row_rate =
+      r.serial_ms > 0.0 ? r.items / (r.serial_ms / 1000.0) : 0.0;
+  r.extra.emplace_back("row_rows_per_s", fmt(row_rate));
+  r.extra.emplace_back(
+      "row_bytes_per_record",
+      std::to_string(stream::PacketColumns::kPacketRowBytes));
+  r.extra.emplace_back(
+      "columnar_bytes_per_record",
+      std::to_string(stream::PacketColumns::kPacketColumnBytes));
+  r.extra.emplace_back(
+      "row_table_bytes",
+      std::to_string(tr.size() * stream::PacketColumns::kPacketRowBytes));
+  r.extra.emplace_back("columnar_table_bytes",
+                       std::to_string(table.byte_size()));
+  harness.add(r);
+  return r.speedup;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::Harness harness(argc, argv);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  // Keep "--smoke" out of the harness's argv[1]-is-the-JSON-path logic.
+  const bool path_given = argc > 1 && std::strcmp(argv[1], "--smoke") != 0;
+  bench::Harness harness(path_given ? 2 : 1, argv);
+  const int reps = smoke ? 1 : 3;
+  constexpr double kSampleBytes = sizeof(double);
 
   // Variance-time plot over a long count series (per-level tasks).
   {
-    const auto x = noise(1 << 18, 5);
+    const auto x = noise(smoke ? 1 << 14 : 1 << 18, 5);
     stats::VarianceTimePlot serial, parallel;
     harness.compare(
-        "variance_time_plot/262144", static_cast<double>(x.size()),
-        "samples", [&] { serial = stats::variance_time_plot(x); },
+        "variance_time_plot/" + std::to_string(x.size()),
+        static_cast<double>(x.size()), "samples",
+        [&] { serial = stats::variance_time_plot(x); },
         [&] { parallel = stats::variance_time_plot(x); },
-        [&] { return same_vt(serial, parallel); });
+        [&] { return same_vt(serial, parallel); }, reps, kSampleBytes);
   }
 
   // Whittle fGn estimation (chunked likelihood sums + grid search).
   {
     rng::Rng rng(6);
-    const auto x = selfsim::generate_fgn(rng, 1 << 14, 0.8);
+    const auto x = selfsim::generate_fgn(rng, smoke ? 1 << 12 : 1 << 14, 0.8);
     stats::WhittleResult serial, parallel;
     harness.compare(
-        "whittle_fgn/16384", static_cast<double>(x.size()), "samples",
+        "whittle_fgn/" + std::to_string(x.size()),
+        static_cast<double>(x.size()), "samples",
         [&] { serial = stats::whittle_fgn(x); },
         [&] { parallel = stats::whittle_fgn(x); },
-        [&] { return same_whittle(serial, parallel); });
+        [&] { return same_whittle(serial, parallel); }, reps, kSampleBytes);
   }
 
   // fGn density cache before/after: the reference path re-evaluates
@@ -91,19 +176,20 @@ int main(int argc, char** argv) {
   // cache itself; `identical` records that the fitted H agrees to 1e-4.
   {
     rng::Rng rng(6);
-    const auto x = selfsim::generate_fgn(rng, 1 << 14, 0.8);
+    const auto x = selfsim::generate_fgn(rng, smoke ? 1 << 12 : 1 << 14, 0.8);
     const auto pg = fft::periodogram(x);
     stats::WhittleResult direct, grid;
     bench::BenchResult row;
-    row.op = "whittle_fgn_density_cache/16384";
+    row.op = "whittle_fgn_density_cache/" + std::to_string(x.size());
     row.threads = 1;
     row.items = static_cast<double>(x.size());
     row.unit = "samples";
     par::set_thread_count(1);
     row.serial_ms = bench::min_time_ms(
-        [&] { direct = stats::whittle_fgn_direct_from_periodogram(pg); });
+        [&] { direct = stats::whittle_fgn_direct_from_periodogram(pg); },
+        reps);
     row.parallel_ms = bench::min_time_ms(
-        [&] { grid = stats::whittle_fgn_from_periodogram(pg); });
+        [&] { grid = stats::whittle_fgn_from_periodogram(pg); }, reps);
     row.speedup = row.parallel_ms > 0.0 ? row.serial_ms / row.parallel_ms
                                         : 1.0;
     row.throughput = row.parallel_ms > 0.0
@@ -111,40 +197,129 @@ int main(int argc, char** argv) {
                          : 0.0;
     row.identical = std::abs(direct.hurst - grid.hurst) < 1e-4;
     row.extra.emplace_back("density_cache", "\"direct_vs_grid\"");
+    bench::Harness::add_rates(row, kSampleBytes);
+    harness.add(row);
+  }
+
+  // Shared-periodogram Hurst battery: "serial" runs GPH + Beran/Whittle
+  // (fGn) + Whittle (fARIMA) each computing its own periodogram of the
+  // same series (the pre-reuse pattern); "parallel" computes one
+  // periodogram and feeds the *_from_periodogram entry points. The same
+  // pg bits flow through, so the estimates must be exactly equal.
+  {
+    rng::Rng rng(11);
+    const auto x = selfsim::generate_fgn(rng, smoke ? 1 << 12 : 1 << 14, 0.8);
+    stats::GphResult g1, g2;
+    stats::BeranResult b1, b2;
+    stats::WhittleResult f1, f2;
+    bench::BenchResult row;
+    row.op = "whittle_periodogram_reuse/" + std::to_string(x.size());
+    row.threads = 1;
+    row.items = static_cast<double>(x.size());
+    row.unit = "samples";
+    par::set_thread_count(1);
+    row.serial_ms = bench::min_time_ms(
+        [&] {
+          g1 = stats::gph_estimator(x);
+          b1 = stats::beran_fgn_test(x);
+          f1 = stats::whittle_farima(x);
+        },
+        reps);
+    row.parallel_ms = bench::min_time_ms(
+        [&] {
+          const auto pg = fft::periodogram(x);
+          g2 = stats::gph_from_periodogram(pg, x.size());
+          b2 = stats::beran_fgn_test_from_periodogram(pg, x.size());
+          f2 = stats::whittle_farima_from_periodogram(pg);
+        },
+        reps);
+    row.speedup = row.parallel_ms > 0.0 ? row.serial_ms / row.parallel_ms
+                                        : 1.0;
+    row.throughput = row.parallel_ms > 0.0
+                         ? row.items / (row.parallel_ms / 1000.0)
+                         : 0.0;
+    row.identical = g1.hurst == g2.hurst && g1.d == g2.d &&
+                    b1.statistic == b2.statistic &&
+                    b1.p_value == b2.p_value &&
+                    same_whittle(b1.whittle, b2.whittle) &&
+                    same_whittle(f1, f2);
+    row.extra.emplace_back("periodogram_reuse", "\"3_estimators_1_fft\"");
+    bench::Harness::add_rates(row, kSampleBytes);
     harness.add(row);
   }
 
   // R/S pox-plot statistics (per-window-size tasks).
   {
     rng::Rng rng(7);
-    const auto x = selfsim::generate_fgn(rng, 1 << 17, 0.8);
+    const auto x = selfsim::generate_fgn(rng, smoke ? 1 << 13 : 1 << 17, 0.8);
     stats::RsAnalysis serial, parallel;
     harness.compare(
-        "rs_analysis/131072", static_cast<double>(x.size()), "samples",
+        "rs_analysis/" + std::to_string(x.size()),
+        static_cast<double>(x.size()), "samples",
         [&] { serial = stats::rs_analysis(x); },
         [&] { parallel = stats::rs_analysis(x); },
-        [&] { return same_rs(serial, parallel); });
+        [&] { return same_rs(serial, parallel); }, reps, kSampleBytes);
   }
 
   // Serial micro-ops: FFT and periodogram costs underpinning the above.
   {
-    const std::size_t n = 1 << 16;
+    const std::size_t n = smoke ? 1 << 12 : 1 << 16;
     std::vector<fft::cd> x(n);
     rng::Rng rng(8);
     for (auto& v : x) v = fft::cd(rng.uniform01(), rng.uniform01());
-    harness.serial_only("fft_pow2/65536", static_cast<double>(n), "samples",
-                        [&] {
-                          auto copy = x;
-                          fft::fft_pow2(copy, false);
-                          if (copy[0].real() > 1e30) std::printf("x");
-                        });
+    harness.serial_only(
+        "fft_pow2/" + std::to_string(n), static_cast<double>(n), "samples",
+        [&] {
+          auto copy = x;
+          fft::fft_pow2(copy, false);
+          if (copy[0].real() > 1e30) std::printf("x");
+        },
+        reps, static_cast<double>(sizeof(fft::cd)));
     const auto y = noise(n, 9);
-    harness.serial_only("periodogram/65536", static_cast<double>(n),
-                        "samples", [&] {
-                          auto pg = fft::periodogram(y);
-                          if (pg.ordinate.empty()) std::printf("x");
-                        });
+    harness.serial_only(
+        "periodogram/" + std::to_string(n), static_cast<double>(n),
+        "samples",
+        [&] {
+          auto pg = fft::periodogram(y);
+          if (pg.ordinate.empty()) std::printf("x");
+        },
+        reps, kSampleBytes);
   }
 
+  // Columnar vs row analysis pipeline over a synthesized packet trace:
+  // the tentpole perf claim. Both paths produce byte-identical vt CSVs;
+  // the gate below requires the columnar path to beat the row path's
+  // single-threaded throughput >= 3x on at least one workload (the
+  // protocol-filtered one is where selection vectors shine).
+  double best_speedup = 0.0;
+  {
+    auto cfg = synth::lbl_pkt_preset("PERF", /*tcp_only=*/false, 42);
+    cfg.hours = smoke ? 0.1 : 2.0;
+    synth::StreamingPacketSynthesizer synth_src(cfg);
+    const trace::PacketTrace tr = stream::collect(synth_src);
+    const stream::PacketColumns table = stream::to_columns(tr.records());
+
+    stream::PipelineOptions opt;  // no filters
+    opt.bin = 1.0;  // Section VII's count resolution (as bench_sec7 uses);
+                    // keeps the row a packet-stage measurement rather
+                    // than a bin-stage one
+    best_speedup = bench_columnar(harness, "analyze_columnar/unfiltered", tr,
+                                  table, opt, reps);
+
+    stream::PipelineOptions filtered = opt;
+    filtered.protocol = trace::Protocol::kTelnet;
+    filtered.orig_data_only = true;
+    const double s =
+        bench_columnar(harness, "analyze_columnar/telnet-orig-data", tr,
+                       table, filtered, reps);
+    if (s > best_speedup) best_speedup = s;
+  }
+
+  if (!smoke && best_speedup < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: columnar analysis speedup %.2fx < 3x target\n",
+                 best_speedup);
+    return 1;
+  }
   return 0;
 }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "bench/bench_harness.hpp"
+#include "src/fft/periodogram.hpp"
 #include "src/plot/ascii_plot.hpp"
 #include "src/stats/beran.hpp"
 #include "src/stats/counting.hpp"
@@ -107,8 +108,12 @@ ProtocolStudy run_study(const synth::PacketDatasetConfig& cfg,
           LevelRow row;
           row.m = m;
           row.bins = agg.size();
-          row.beran = stats::beran_fgn_test(agg);
-          row.farima = stats::whittle_farima(agg);
+          // One periodogram per level serves both Whittle families and
+          // the Beran test — identical results, half the FFT work.
+          const auto pg = fft::periodogram(agg);
+          row.beran =
+              stats::beran_fgn_test_from_periodogram(pg, agg.size());
+          row.farima = stats::whittle_farima_from_periodogram(pg);
           s.levels.push_back(row);
         }
       },

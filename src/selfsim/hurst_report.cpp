@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "src/fft/periodogram.hpp"
 #include "src/stats/counting.hpp"
 
 namespace wan::selfsim {
@@ -44,15 +45,22 @@ HurstReport hurst_report(std::span<const double> counts,
     series = stats::aggregate_mean(series, 2);
 
   out.rs_hurst = stats::rs_analysis(series).hurst();
-  out.gph_hurst = stats::gph_estimator(series).hurst;
 
-  const auto beran = stats::beran_fgn_test(series, config.alpha);
+  // One periodogram serves all three spectral estimators (GPH, the
+  // Beran/Whittle-fGn fit, Whittle-fARIMA): the same pg bits flow
+  // through each, so the estimates are identical to the per-estimator
+  // periodograms — the series FFT just runs once instead of three times.
+  const auto pg = fft::periodogram(series);
+  out.gph_hurst = stats::gph_from_periodogram(pg, series.size()).hurst;
+
+  const auto beran =
+      stats::beran_fgn_test_from_periodogram(pg, series.size(), config.alpha);
   out.whittle_fgn_hurst = beran.whittle.hurst;
   out.whittle_fgn_stderr = beran.whittle.stderr_hurst;
   out.beran_p_value = beran.p_value;
   out.fgn_consistent = beran.consistent;
 
-  out.whittle_farima_hurst = stats::whittle_farima(series).hurst;
+  out.whittle_farima_hurst = stats::whittle_farima_from_periodogram(pg).hurst;
   return out;
 }
 

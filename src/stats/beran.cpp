@@ -8,7 +8,12 @@
 namespace wan::stats {
 
 BeranResult beran_fgn_test(std::span<const double> x, double alpha) {
-  const auto pg = fft::periodogram(x);
+  return beran_fgn_test_from_periodogram(fft::periodogram(x), x.size(),
+                                         alpha);
+}
+
+BeranResult beran_fgn_test_from_periodogram(const fft::Periodogram& pg,
+                                            std::size_t n_obs, double alpha) {
   BeranResult r;
   r.whittle = whittle_fgn_from_periodogram(pg);
 
@@ -26,7 +31,7 @@ BeranResult beran_fgn_test(std::span<const double> x, double alpha) {
   // (j = 1..n-1); the periodogram and fGn density are symmetric, so the
   // half-range sums are simply doubled. With that convention
   // E[T_n] -> 1/pi.
-  const double n = static_cast<double>(x.size());
+  const double n = static_cast<double>(n_obs);
   const double a_n = (2.0 * M_PI / n) * 2.0 * sum_ratio2;
   const double b = (2.0 * M_PI / n) * 2.0 * sum_ratio;
   const double b_n = b * b;

@@ -27,4 +27,14 @@ struct BeranResult {
 /// level alpha.
 BeranResult beran_fgn_test(std::span<const double> x, double alpha = 0.05);
 
+/// Same test starting from a precomputed periodogram of the series; n is
+/// the series length the periodogram came from (it scales the statistic).
+/// Lets callers running several spectral estimators on one series (the
+/// Hurst battery, the Section-VII bench) compute the periodogram once —
+/// the identical pg bits flow through, so results match beran_fgn_test
+/// exactly.
+BeranResult beran_fgn_test_from_periodogram(const fft::Periodogram& pg,
+                                            std::size_t n,
+                                            double alpha = 0.05);
+
 }  // namespace wan::stats

@@ -26,6 +26,45 @@ void BinCountsAccumulator::add(double t) {
   counts_[idx] += 1.0;
 }
 
+void BinCountsAccumulator::add(std::span<const double> times) {
+  // Guard the int32 index scratch; a series this long would need a bin
+  // vector beyond 2G entries anyway.
+  if (counts_.size() >= static_cast<std::size_t>(INT32_MAX)) {
+    for (double t : times) add(t);
+    return;
+  }
+  const double t0 = t0_;
+  const double t1 = t1_;
+  const double bin = bin_;
+  const double last = static_cast<double>(counts_.size() - 1);
+  idx_scratch_.resize(times.size());
+  std::int32_t* idx = idx_scratch_.data();
+  // Phase 1: pure per-element arithmetic over the time column — the
+  // same range predicate and division as add(t), so the computed bin of
+  // every in-range element is identical (clamping the quotient before
+  // truncation equals clamping the index after it, since the quotient
+  // of an in-range element is nonnegative and below bins()). All
+  // selects, no branches: compare / divide / min / convert / blend,
+  // which is what lets the loop vectorize.
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const double t = times[i];
+    // Non-short-circuit | so the predicate is two compares and an or,
+    // not a branch (short-circuit || blocks vectorization).
+    const bool out = (t < t0) | (t >= t1);
+    double q = (t - t0) / bin;
+    q = q > last ? last : q;  // float edge at t1
+    q = q > 0.0 ? q : 0.0;    // keep the conversion defined on out lanes
+    const auto b = static_cast<std::int32_t>(q);
+    idx[i] = out ? -1 : b;
+  }
+  // Phase 2: scatter. Inherently serial per element, but now a plain
+  // increment loop with no floating-point work left in it.
+  double* counts = counts_.data();
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (idx[i] >= 0) counts[idx[i]] += 1.0;
+  }
+}
+
 std::vector<double> aggregate_mean(std::span<const double> x, std::size_t m) {
   if (m == 0) throw std::invalid_argument("aggregate_mean: m must be >= 1");
   std::vector<double> out;

@@ -25,9 +25,13 @@ class BinCountsAccumulator {
   BinCountsAccumulator(double t0, double t1, double bin);
 
   void add(double t);
-  void add(std::span<const double> times) {
-    for (double t : times) add(t);
-  }
+
+  /// Column form: identical counts to calling add(t) per element (bin
+  /// increments are exact integer adds), but the bin-index computation
+  /// runs as a tight two-phase loop over the contiguous time column —
+  /// compute indices (vectorizes: compare, subtract, divide, convert),
+  /// then scatter the increments — instead of a branchy divide per call.
+  void add(std::span<const double> times);
 
   std::size_t bins() const { return counts_.size(); }
   const std::vector<double>& counts() const { return counts_; }
@@ -39,6 +43,7 @@ class BinCountsAccumulator {
   double t1_ = 0.0;
   double bin_ = 1.0;
   std::vector<double> counts_;
+  std::vector<std::int32_t> idx_scratch_;  ///< add(span) phase-1 output
 };
 
 /// Aggregates a count series by non-overlapping blocks of m, *averaging*
@@ -68,6 +73,11 @@ BurstLull burst_lull_structure(std::span<const double> counts);
 class BurstLullAccumulator {
  public:
   void push(double count);
+  /// Column form: same run-length results as push(count) per element,
+  /// as one sequential scan of the contiguous count series.
+  void push(std::span<const double> counts) {
+    for (double c : counts) push(c);
+  }
   /// Snapshot including the currently open run; push() may continue
   /// afterwards (finish does not mutate).
   BurstLull finish() const;

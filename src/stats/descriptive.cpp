@@ -94,15 +94,29 @@ Summary summarize(std::span<const double> x) {
 
 std::vector<double> interarrivals(std::span<const double> times) {
   std::vector<double> out;
-  if (times.size() < 2) return out;
-  out.reserve(times.size() - 1);
-  for (std::size_t i = 1; i < times.size(); ++i) {
-    const double d = times[i] - times[i - 1];
-    if (d < 0.0)
-      throw std::invalid_argument("interarrivals: times must be sorted");
-    out.push_back(d);
-  }
+  interarrivals_into(times, out);
   return out;
+}
+
+void interarrivals_into(std::span<const double> times,
+                        std::vector<double>& out) {
+  if (times.size() < 2) return;
+  const std::size_t base = out.size();
+  const std::size_t n = times.size() - 1;
+  out.resize(base + n);
+  double* dst = out.data() + base;
+  // Adjacent differences as one vectorizable pass; the sortedness check
+  // folds into a running min so no branch lives in the loop.
+  double mind = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = times[i + 1] - times[i];
+    dst[i] = d;
+    mind = d < mind ? d : mind;
+  }
+  if (mind < 0.0) {
+    out.resize(base);
+    throw std::invalid_argument("interarrivals: times must be sorted");
+  }
 }
 
 // MomentAccumulator is header-only (see descriptive.hpp) so layers below

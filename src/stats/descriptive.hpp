@@ -54,6 +54,36 @@ Summary summarize(std::span<const double> x);
 /// sequence. times must be nondecreasing.
 std::vector<double> interarrivals(std::span<const double> times);
 
+/// Appends the interarrivals of `times` to `out` — the adjacent
+/// differences as one vectorizable pass over the contiguous time
+/// column (no allocation when out has capacity).
+void interarrivals_into(std::span<const double> times,
+                        std::vector<double>& out);
+
+/// Streaming interarrival extraction: feed a nondecreasing time column
+/// chunk by chunk; gaps() equals interarrivals() of the concatenated
+/// times exactly (the same subtractions in the same order, including
+/// the one bridging each chunk boundary).
+class InterarrivalAccumulator {
+ public:
+  void push_times(std::span<const double> times) {
+    if (times.empty()) return;
+    if (has_last_) gaps_.push_back(times[0] - last_);
+    interarrivals_into(times, gaps_);
+    last_ = times[times.size() - 1];
+    has_last_ = true;
+  }
+
+  const std::vector<double>& gaps() const { return gaps_; }
+  /// Moves the gaps out; the accumulator keeps its boundary state.
+  std::vector<double> take() { return std::move(gaps_); }
+
+ private:
+  std::vector<double> gaps_;
+  double last_ = 0.0;
+  bool has_last_ = false;
+};
+
 /// Single-pass Welford moment accumulator for streamed data: mean,
 /// variance, extrema in O(1) state. Welford's recurrence is numerically
 /// stabler than the two-pass span functions but groups the floating-point
@@ -76,6 +106,12 @@ class MomentAccumulator {
     const double delta = x - mean_;
     mean_ += delta / static_cast<double>(n_);
     m2_ += delta * (x - mean_);
+  }
+
+  /// Column form: Welford per element in order (bit-identical to push(x)
+  /// per element); the loop body is branch-light once min/max start.
+  void push(std::span<const double> xs) {
+    for (double x : xs) push(x);
   }
 
   std::size_t count() const { return n_; }

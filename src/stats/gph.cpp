@@ -9,10 +9,14 @@
 namespace wan::stats {
 
 GphResult gph_estimator(std::span<const double> x, std::size_t m) {
-  const auto pg = fft::periodogram(x);
+  return gph_from_periodogram(fft::periodogram(x), x.size(), m);
+}
+
+GphResult gph_from_periodogram(const fft::Periodogram& pg, std::size_t n,
+                               std::size_t m) {
   if (m == 0) {
     m = static_cast<std::size_t>(
-        std::floor(std::sqrt(static_cast<double>(x.size()))));
+        std::floor(std::sqrt(static_cast<double>(n))));
   }
   if (m < 4 || m > pg.frequency.size())
     throw std::invalid_argument("gph_estimator: bad frequency count");

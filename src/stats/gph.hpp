@@ -9,6 +9,10 @@
 
 #include "src/stats/regression.hpp"
 
+namespace wan::fft {
+struct Periodogram;
+}
+
 namespace wan::stats {
 
 struct GphResult {
@@ -22,5 +26,13 @@ struct GphResult {
 /// Estimates d from the lowest `m` Fourier frequencies; m == 0 selects
 /// the conventional floor(n^0.5).
 GphResult gph_estimator(std::span<const double> x, std::size_t m = 0);
+
+/// Same regression starting from a precomputed periodogram; n is the
+/// series length (it sets the default m). Identical result to
+/// gph_estimator when pg is the periodogram of the same series — the
+/// shared-periodogram entry for callers running several spectral
+/// estimators on one series.
+GphResult gph_from_periodogram(const fft::Periodogram& pg, std::size_t n,
+                               std::size_t m = 0);
 
 }  // namespace wan::stats

@@ -42,7 +42,7 @@ namespace {
 VtPoint vt_point_at_level(std::span<const double> counts, std::size_t m,
                           double norm) {
   VtLevelAccumulator acc(m);
-  for (double x : counts) acc.push(x);
+  acc.push(counts);
 
   VtPoint p;
   p.m = m;

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "src/stream/columnar_filters.hpp"
 #include "src/stream/filters.hpp"
 
 namespace wan::stream {
@@ -26,7 +27,66 @@ std::size_t expected_bins(const StreamInfo& info, double bin) {
 
 PipelineResult analyze_stream(PacketChunkSource& source,
                               const PipelineOptions& options) {
-  // Filter stages live on this frame; each wraps the previous one.
+  ColumnsFromRows columns(source);
+  return analyze_columns(columns, options);
+}
+
+PipelineResult analyze_columns(PacketColumnSource& source,
+                               const PipelineOptions& options) {
+  // Filter stages live on this frame. The protocol and originator-data
+  // predicates fuse into one ColumnFilterSource (same record sequence
+  // and derived name as stacking them; one selection pass + one gather).
+  PacketColumnSource* src = &source;
+  std::optional<ColumnFilterSource> filter;
+  if (options.protocol || options.orig_data_only) {
+    filter.emplace(*src, options.protocol, options.orig_data_only);
+    src = &*filter;
+  }
+  std::optional<ColumnBulkOutlierSource> no_outliers;
+  if (options.remove_outliers) {
+    no_outliers.emplace(*src, options.outlier_max_bytes,
+                        options.outlier_max_rate);
+    src = &*no_outliers;
+  }
+
+  const StreamInfo info = src->info();
+  if (expected_bins(info, options.bin) < 16)
+    throw std::invalid_argument("analyze_stream: series too short");
+
+  stats::BinCountsAccumulator bins(info.t_begin, info.t_end, options.bin);
+  std::uint64_t packets = 0;
+  PacketColumns chunk;
+  while (src->next(chunk)) {
+    packets += chunk.size();
+    bins.add(std::span<const double>(chunk.time));
+  }
+
+  PipelineResult result;
+  result.info = info;
+  result.bin = options.bin;
+  result.packets = packets;
+  result.counts = bins.take();
+  stats::VtAccumulator vt(
+      stats::default_aggregation_levels(result.counts.size()));
+  stats::BurstLullAccumulator bl;
+  stats::MomentAccumulator moments;
+  // Counts are already one contiguous column; interleaving the three
+  // accumulators per element lets their independent update chains
+  // overlap (fastest measured orientation, and the row path's exact
+  // order).
+  for (double c : result.counts) {
+    vt.push(c);
+    bl.push(c);
+    moments.push(c);
+  }
+  result.vt = vt.finish();
+  result.burst_lull = bl.finish();
+  result.count_moments = moments;
+  return result;
+}
+
+PipelineResult analyze_stream_rows(PacketChunkSource& source,
+                                   const PipelineOptions& options) {
   PacketChunkSource* src = &source;
   std::optional<FilterSource> by_protocol;
   if (options.protocol) {

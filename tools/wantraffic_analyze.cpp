@@ -18,7 +18,9 @@
 // --stream runs the packet analysis through the chunked pipeline
 // (src/stream): the file is never materialized in memory, yet the
 // results — including the --vt-csv figure file — are byte-identical to
-// the batch path's.
+// the batch path's. The streamed analysis is columnar by default
+// (src/stream/columnar.hpp); --rows forces the retained row-at-a-time
+// pipeline, which produces the same bytes several times slower.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -49,7 +51,7 @@ int usage() {
                "  wantraffic_analyze pkt FILE [--bin SEC] "
                "[--protocol NAME] [--binary]\n"
                "                         [--filtered] [--vt-csv FILE] "
-               "[--stream] [--chunk N]\n"
+               "[--stream] [--rows] [--chunk N]\n"
                "  either mode: [--ingest-format pcap|lbl-conn|lbl-pkt] "
                "[--lenient]\n");
   return 2;
@@ -144,6 +146,15 @@ int report_pkt(const stream::PipelineResult& result,
   return 0;
 }
 
+// Streamed analysis entry point: columnar by default, the retained row
+// pipeline under --rows. Byte-identical either way.
+stream::PipelineResult analyze(stream::PacketChunkSource& src,
+                               const stream::PipelineOptions& opt,
+                               const tools::ArgParser& args) {
+  if (args.has("--rows")) return stream::analyze_stream_rows(src, opt);
+  return stream::analyze_stream(src, opt);
+}
+
 int run_pkt(const std::string& path, const tools::ArgParser& args) {
   stream::PipelineOptions opt;
   opt.bin = args.number("--bin", opt.bin);
@@ -167,7 +178,7 @@ int run_pkt(const std::string& path, const tools::ArgParser& args) {
         ingest::open_packet_source(path, *format, ingest_options(args));
     stream::PipelineResult result;
     if (args.has("--stream")) {
-      result = stream::analyze_stream(*src, opt);
+      result = analyze(*src, opt, args);
     } else {
       result = stream::analyze_batch(stream::collect(*src), opt);
     }
@@ -182,10 +193,10 @@ int run_pkt(const std::string& path, const tools::ArgParser& args) {
     stream::PipelineResult result;
     if (args.has("--binary")) {
       stream::BinaryChunkSource src(path, opt.chunk_size);
-      result = stream::analyze_stream(src, opt);
+      result = analyze(src, opt, args);
     } else {
       stream::CsvChunkSource src(path, opt.chunk_size);
-      result = stream::analyze_stream(src, opt);
+      result = analyze(src, opt, args);
     }
     std::printf("streamed %llu packets from %s (%s)\n",
                 static_cast<unsigned long long>(result.packets), path.c_str(),
@@ -207,6 +218,7 @@ int main(int argc, char** argv) {
   args.add_flag("--binary");
   args.add_flag("--filtered");
   args.add_flag("--stream");
+  args.add_flag("--rows");
   args.add_flag("--lenient");
   args.add_option("--ingest-format");
   args.add_option("--interval");
