@@ -14,6 +14,7 @@
 #include <functional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -36,6 +37,15 @@ struct BenchResult {
   /// benches that measure more than wall time.
   std::vector<std::pair<std::string, std::string>> extra;
 };
+
+/// Physical cores the host reports (>= 1). Every JSON row records this
+/// next to its thread count, and speedup gates must require cores() > 1:
+/// on a 1-core container a parallel run cannot beat serial, so a ~1x
+/// "speedup" there is a scheduling fact, not a regression.
+inline std::size_t cores() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n > 0 ? static_cast<std::size_t>(n) : 1;
+}
 
 /// Best-of-`reps` wall time of fn, in milliseconds.
 inline double min_time_ms(const std::function<void()>& fn, int reps = 3) {
@@ -180,7 +190,8 @@ class Harness {
   static std::string to_json(const BenchResult& r) {
     std::ostringstream j;
     j << "{\"op\": \"" << r.op << "\", \"threads\": " << r.threads
-      << ", \"items\": " << r.items << ", \"unit\": \"" << r.unit
+      << ", \"cores\": " << cores() << ", \"items\": " << r.items
+      << ", \"unit\": \"" << r.unit
       << "\", \"serial_ms\": " << r.serial_ms
       << ", \"parallel_ms\": " << r.parallel_ms
       << ", \"speedup\": " << r.speedup

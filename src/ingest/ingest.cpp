@@ -25,9 +25,15 @@ std::unique_ptr<IngestPacketSource> open_packet_source(
     const std::string& path, IngestFormat format, const IngestOptions& opt) {
   switch (format) {
     case IngestFormat::kPcap:
+      if (opt.shards > 1)
+        return std::make_unique<ShardedPcapPacketSource>(
+            path, opt.mode, opt.shards, opt.flow, opt.chunk_size);
       return std::make_unique<PcapPacketSource>(path, opt.mode, opt.flow,
                                                 opt.chunk_size);
     case IngestFormat::kLblPkt:
+      if (opt.shards > 1)
+        return std::make_unique<ShardedLblPktPacketSource>(
+            path, opt.mode, opt.shards, opt.flow, opt.chunk_size);
       return std::make_unique<LblPktPacketSource>(path, opt.mode, opt.flow,
                                                   opt.chunk_size);
     case IngestFormat::kLblConn:

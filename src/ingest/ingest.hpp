@@ -29,6 +29,12 @@ struct IngestOptions {
   ParseMode mode = ParseMode::kStrict;
   std::size_t chunk_size = stream::kDefaultChunkSize;
   FlowTableConfig flow;  ///< idle timeout for flow reconstruction
+  /// Flow-hash shards for packet-level reconstruction. 1 = the serial
+  /// FlowTable; > 1 fans the table work across the src/par pool with
+  /// byte-identical output (see shard_ingest.hpp). Connection-level
+  /// sources ignore this — closure order is not shard-invariant, so
+  /// tools reject --shards in conn mode instead.
+  std::size_t shards = 1;
 };
 
 /// Packet-level source for the packet formats (pcap, lbl-pkt).

@@ -1,0 +1,97 @@
+#include "src/ingest/shard_ingest.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "src/par/parallel.hpp"
+#include "src/stream/shard.hpp"
+
+namespace wan::ingest {
+
+std::size_t shard_of_packet(const RawPacket& pkt,
+                            std::size_t n_shards) noexcept {
+  return stream::shard_of_hosts(pkt.src_ip, pkt.dst_ip, n_shards);
+}
+
+ShardedFlowTable::ShardedFlowTable(std::size_t n_shards,
+                                   FlowTableConfig config) {
+  if (n_shards == 0 || n_shards > kMaxShards) {
+    throw std::invalid_argument("ShardedFlowTable: n_shards must be in [1, " +
+                                std::to_string(kMaxShards) + "], got " +
+                                std::to_string(n_shards));
+  }
+  tables_.assign(n_shards, FlowTable(config));
+  ledgers_.assign(n_shards, IngestStats{});
+  remap_.assign(n_shards, {});
+  rows_.assign(n_shards, {});
+}
+
+void ShardedFlowTable::add_batch(std::span<const RawPacket> pkts,
+                                 std::vector<trace::PacketRecord>& out) {
+  const std::size_t n = tables_.size();
+  out.resize(pkts.size());
+
+  if (n == 1) {
+    // One shard is the serial table verbatim: local ids ARE global ids.
+    for (std::size_t i = 0; i < pkts.size(); ++i)
+      out[i] = tables_[0].add(pkts[i]);
+    ledgers_[0].records += pkts.size();
+    next_global_id_ = tables_[0].connections_seen() + 1;
+    return;
+  }
+
+  shard_of_row_.resize(pkts.size());
+  for (auto& r : rows_) r.clear();
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    const std::size_t s = shard_of_packet(pkts[i], n);
+    shard_of_row_[i] = static_cast<std::uint32_t>(s);
+    rows_[s].push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // Shards are independent (disjoint flow keys), so the fold order
+  // across shards is free; within a shard, rows_ preserves capture
+  // order, which is all the per-flow state machine needs.
+  par::parallel_for(0, n, 1, [&](std::size_t b, std::size_t e) {
+    for (std::size_t s = b; s < e; ++s) {
+      for (const std::uint32_t i : rows_[s]) out[i] = tables_[s].add(pkts[i]);
+      ledgers_[s].records += rows_[s].size();
+    }
+  });
+
+  // Renumber shard-local conn ids to the serial numbering: flows are
+  // numbered by first appearance in capture order, which is exactly
+  // when the serial table's open_flow would have assigned the id. Local
+  // ids are dense and increase with first appearance inside a shard, so
+  // a previously unseen local id is always remap_[s].size() + 1.
+  for (std::size_t i = 0; i < pkts.size(); ++i) {
+    auto& m = remap_[shard_of_row_[i]];
+    const std::uint32_t local = out[i].conn_id;
+    if (local > m.size()) {
+      if (local != m.size() + 1)
+        throw std::logic_error("ShardedFlowTable: non-dense shard conn ids");
+      m.push_back(next_global_id_++);
+    }
+    out[i].conn_id = m[local - 1];
+  }
+}
+
+void ShardedFlowTable::clear() {
+  for (auto& t : tables_) t.clear();
+  for (auto& l : ledgers_) l.clear();
+  for (auto& m : remap_) m.clear();
+  next_global_id_ = 1;
+}
+
+std::size_t ShardedFlowTable::open_flows() const {
+  std::size_t total = 0;
+  for (const auto& t : tables_) total += t.open_flows();
+  return total;
+}
+
+IngestStats ShardedFlowTable::merged_ledger() const {
+  IngestStats merged;
+  for (const auto& l : ledgers_) merged.merge(l);
+  return merged;
+}
+
+}  // namespace wan::ingest

@@ -1,0 +1,109 @@
+// Sharded flow reconstruction: the FlowTable split by flow hash so the
+// per-packet table work — hashing, LRU upkeep, TCP state tracking —
+// runs on the src/par pool while the emitted record stream stays
+// byte-identical to the serial table's.
+//
+// Packets are routed by the unordered host pair (the same key FTP
+// session stamping uses), so every flow — and every flow of one host
+// pair, e.g. an FTP session's control and data connections — lands in
+// exactly one shard. Each shard owns a private FlowTable; a batch of
+// raw packets is partitioned, folded in parallel, and re-emitted in
+// capture order.
+//
+// Two facts make the output serial-identical:
+//
+//   * FlowTable::add advances the eviction clock to the packet's time
+//     and sweeps idle flows *before* the flow lookup, so whether a
+//     packet reopens its 4-tuple depends only on (packet time, the
+//     flow's own last-activity time) — never on which other packets the
+//     same table happened to see. Per-shard tables therefore make the
+//     same open/close/reopen decisions as the serial table, provided
+//     capture timestamps never step backwards by more than the idle
+//     timeout (the readers' out_of_order ledger counts any step at
+//     all).
+//   * Shard-local conn ids are renumbered to the serial numbering in a
+//     sequential pass over the batch: the serial table assigns ids at
+//     each flow's first packet, so numbering flows by first appearance
+//     in capture order reproduces it exactly.
+//
+// Everything else in a PacketRecord (protocol from ports, originator
+// from the first packet's flags, payload clamp) is a pure function of
+// the flow's own packets, hence shard-invariant.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/ingest/flow_table.hpp"
+#include "src/ingest/ingest_stats.hpp"
+#include "src/ingest/raw_packet.hpp"
+#include "src/trace/records.hpp"
+
+namespace wan::ingest {
+
+/// Shard of a raw packet: a pure function of the unordered (src_ip,
+/// dst_ip) pair and the shard count — both directions of a flow, and
+/// all flows of one host pair, share a shard. Matches
+/// stream::shard_of_hosts on the raw addresses.
+std::size_t shard_of_packet(const RawPacket& pkt,
+                            std::size_t n_shards) noexcept;
+
+/// N flow tables behind the serial FlowTable's add contract, batched.
+/// add_batch partitions a batch across the shards, folds the shards in
+/// parallel, and emits records in capture order with serial conn-id
+/// numbering — byte-identical to one FlowTable fed the same stream at
+/// every (shard count, thread count).
+class ShardedFlowTable {
+ public:
+  /// Throws std::invalid_argument unless 1 <= n_shards <= kMaxShards.
+  explicit ShardedFlowTable(std::size_t n_shards, FlowTableConfig config = {});
+
+  std::size_t n_shards() const { return tables_.size(); }
+
+  /// Folds one batch of raw packets: out is resized to pkts.size() and
+  /// out[i] is exactly the record a serial FlowTable would return for
+  /// pkts[i]. Flow state persists across batches; batches must arrive
+  /// in capture order.
+  void add_batch(std::span<const RawPacket> pkts,
+                 std::vector<trace::PacketRecord>& out);
+
+  /// Forgets all shard state and the global conn numbering, like
+  /// FlowTable::clear — a reset() source rebuilds identical ids.
+  void clear();
+
+  /// Open flows across all shards (4-tuples are disjoint by routing).
+  /// A monitoring count, not shard-invariant: each shard's idle sweep
+  /// runs on its own clock, so a shard that saw no recent packets
+  /// holds idle flows longer than the serial table would. The emitted
+  /// records are unaffected — a flow's fate is decided at its own next
+  /// packet, identically in both.
+  std::size_t open_flows() const;
+
+  /// Globally renumbered connections, matching the serial table.
+  std::uint32_t connections_seen() const { return next_global_id_ - 1; }
+
+  /// One ledger per shard: each counts the records its shard emitted
+  /// (parse defects live in the reader's ledger, upstream of routing).
+  const std::vector<IngestStats>& shard_ledgers() const { return ledgers_; }
+
+  /// The per-shard ledgers folded into one via IngestStats::merge, in
+  /// shard order. merged_ledger().records equals the total records
+  /// emitted.
+  IngestStats merged_ledger() const;
+
+  static constexpr std::size_t kMaxShards = 1024;
+
+ private:
+  std::vector<FlowTable> tables_;
+  std::vector<IngestStats> ledgers_;
+  /// Per shard: local conn id (1-based, dense) -> global conn id.
+  std::vector<std::vector<std::uint32_t>> remap_;
+  std::uint32_t next_global_id_ = 1;
+
+  // Batch scratch, reused across add_batch calls.
+  std::vector<std::uint32_t> shard_of_row_;
+  std::vector<std::vector<std::uint32_t>> rows_;
+};
+
+}  // namespace wan::ingest

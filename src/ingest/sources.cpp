@@ -37,6 +37,13 @@ stream::StreamInfo prescan_packets(Reader& reader, const std::string& path) {
   return info;
 }
 
+/// Packet consumers never drain closed-connection records; keep the
+/// tables from accumulating them.
+FlowTableConfig packet_flow_config(FlowTableConfig flow) {
+  flow.collect_connections = false;
+  return flow;
+}
+
 }  // namespace
 
 // ------------------------------------------------------ PacketSourceImpl
@@ -70,6 +77,37 @@ void PacketSourceImpl<Reader>::reset() {
 
 template class PacketSourceImpl<PcapReader>;
 template class PacketSourceImpl<LblPktReader>;
+
+// ----------------------------------------------- ShardedPacketSourceImpl
+
+template <typename Reader>
+ShardedPacketSourceImpl<Reader>::ShardedPacketSourceImpl(
+    const std::string& path, ParseMode mode, std::size_t n_shards,
+    FlowTableConfig flow, std::size_t chunk_size)
+    : reader_(path, mode),
+      table_(n_shards, packet_flow_config(flow)),
+      chunk_size_(chunk_size) {
+  info_ = prescan_packets(reader_, path);
+}
+
+template <typename Reader>
+bool ShardedPacketSourceImpl<Reader>::next(
+    std::vector<trace::PacketRecord>& chunk) {
+  raw_.clear();
+  RawPacket pkt;
+  while (raw_.size() < chunk_size_ && reader_.next(pkt)) raw_.push_back(pkt);
+  table_.add_batch(raw_, chunk);
+  return !chunk.empty();
+}
+
+template <typename Reader>
+void ShardedPacketSourceImpl<Reader>::reset() {
+  reader_.reset();
+  table_.clear();  // identical conn ids on the second pass
+}
+
+template class ShardedPacketSourceImpl<PcapReader>;
+template class ShardedPacketSourceImpl<LblPktReader>;
 
 // -------------------------------------------------------- FlowConnSource
 

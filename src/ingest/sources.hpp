@@ -25,6 +25,7 @@
 
 #include "src/ingest/flow_table.hpp"
 #include "src/ingest/ingest_stats.hpp"
+#include "src/ingest/shard_ingest.hpp"
 #include "src/ingest/ita_ascii.hpp"
 #include "src/ingest/pcap_reader.hpp"
 #include "src/stream/chunk.hpp"
@@ -73,6 +74,39 @@ class PacketSourceImpl final : public IngestPacketSource {
 
 using PcapPacketSource = PacketSourceImpl<PcapReader>;
 using LblPktPacketSource = PacketSourceImpl<LblPktReader>;
+
+/// Sharded twin of PacketSourceImpl: one reader (a capture is a single
+/// byte stream), flow reconstruction fanned across per-shard tables on
+/// the src/par pool, records re-emitted in capture order with serial
+/// conn-id numbering. Chunks are byte-identical to PacketSourceImpl's
+/// at every (shard count, thread count) — see shard_ingest.hpp for the
+/// argument. stats() is the reader's ledger (parse defects happen
+/// before routing); the table's per-shard record ledgers merge into one
+/// via flow_table().merged_ledger().
+template <typename Reader>
+class ShardedPacketSourceImpl final : public IngestPacketSource {
+ public:
+  ShardedPacketSourceImpl(const std::string& path, ParseMode mode,
+                          std::size_t n_shards, FlowTableConfig flow = {},
+                          std::size_t chunk_size = stream::kDefaultChunkSize);
+
+  const stream::StreamInfo& info() const override { return info_; }
+  bool next(std::vector<trace::PacketRecord>& chunk) override;
+  void reset() override;
+
+  const IngestStats& stats() const override { return reader_.stats(); }
+  const ShardedFlowTable& flow_table() const { return table_; }
+
+ private:
+  Reader reader_;
+  ShardedFlowTable table_;
+  stream::StreamInfo info_;
+  std::size_t chunk_size_;
+  std::vector<RawPacket> raw_;  ///< batch scratch, one chunk's packets
+};
+
+using ShardedPcapPacketSource = ShardedPacketSourceImpl<PcapReader>;
+using ShardedLblPktPacketSource = ShardedPacketSourceImpl<LblPktReader>;
 
 /// The same packet formats reduced to SYN/FIN-style connection records:
 /// chunks hold the connections the flow table closed, in closure order;

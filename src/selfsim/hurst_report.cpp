@@ -27,7 +27,16 @@ std::string HurstReport::to_string() const {
       vt_hurst, rs_hurst, gph_hurst, whittle_fgn_hurst, whittle_fgn_stderr,
       whittle_farima_hurst, consensus(), beran_p_value,
       fgn_consistent ? "consistent with fGn" : "NOT fGn");
-  return buf;
+  std::string out = buf;
+  if (whittle_sweep.size() > 1) {
+    out += "\nWhittle H by aggregation:";
+    for (const WhittleLevelFit& level : whittle_sweep) {
+      std::snprintf(buf, sizeof(buf), " M=%zu %.3f", level.aggregation,
+                    level.hurst);
+      out += buf;
+    }
+  }
+  return out;
 }
 
 HurstReport hurst_report(std::span<const double> counts,
@@ -46,11 +55,14 @@ HurstReport hurst_report(std::span<const double> counts,
 
   out.rs_hurst = stats::rs_analysis(series).hurst();
 
-  // One periodogram serves all three spectral estimators (GPH, the
-  // Beran/Whittle-fGn fit, Whittle-fARIMA): the same pg bits flow
-  // through each, so the estimates are identical to the per-estimator
-  // periodograms — the series FFT just runs once instead of three times.
-  const auto pg = fft::periodogram(series);
+  // One FFT serves every spectral consumer: the cascade's level-0
+  // periodogram is bitwise the one fft::periodogram(series) returns, and
+  // it flows through GPH, the Beran/Whittle-fGn fit and Whittle-fARIMA
+  // unchanged; the Whittle stability sweep below then derives each
+  // aggregated level's periodogram from the same spectrum algebraically
+  // instead of re-running an FFT per level.
+  fft::SpectrumCascade cascade(series);
+  const auto pg = cascade.current();
   out.gph_hurst = stats::gph_from_periodogram(pg, series.size()).hurst;
 
   const auto beran =
@@ -61,6 +73,25 @@ HurstReport hurst_report(std::span<const double> counts,
   out.fgn_consistent = beran.consistent;
 
   out.whittle_farima_hurst = stats::whittle_farima_from_periodogram(pg).hurst;
+
+  // Aggregation-stability sweep: re-fit Whittle-fGn at 2x, 4x, ...
+  // aggregations, each level's search warm-started from the previous
+  // level's H (a self-similar series keeps H nearly constant across
+  // levels, so the hint brackets in 3 objective evaluations).
+  if (config.whittle_sweep_levels > 0) {
+    out.whittle_sweep.push_back({1, cascade.length(), out.whittle_fgn_hurst,
+                                 out.whittle_fgn_stderr});
+    for (std::size_t k = 0; k < config.whittle_sweep_levels; ++k) {
+      if (!cascade.can_halve() || cascade.length() / 2 < 512) break;
+      cascade.halve();
+      stats::WhittleOptions warm;
+      warm.hurst_hint = out.whittle_sweep.back().hurst;
+      const auto fit =
+          stats::whittle_fgn_from_periodogram(cascade.current(), warm);
+      out.whittle_sweep.push_back(
+          {cascade.factor(), cascade.length(), fit.hurst, fit.stderr_hurst});
+    }
+  }
   return out;
 }
 

@@ -6,6 +6,7 @@
 
 #include <span>
 #include <string>
+#include <vector>
 
 #include "src/stats/beran.hpp"
 #include "src/stats/gph.hpp"
@@ -14,6 +15,14 @@
 #include "src/stats/whittle.hpp"
 
 namespace wan::selfsim {
+
+/// One level of the Whittle aggregation-stability sweep.
+struct WhittleLevelFit {
+  std::size_t aggregation = 1;   ///< block size relative to the analysis series
+  std::size_t bins = 0;          ///< series length at this level
+  double hurst = 0.5;
+  double stderr_hurst = 0.0;
+};
 
 struct HurstReport {
   double vt_hurst = 0.5;        ///< variance-time slope estimate
@@ -24,6 +33,14 @@ struct HurstReport {
   double whittle_farima_hurst = 0.5;
   double beran_p_value = 1.0;
   bool fgn_consistent = false;  ///< Beran verdict at 5%
+
+  /// Whittle-fGn re-fit at successive 2x aggregations of the analysis
+  /// series (paper Section VII: stable H across levels is the
+  /// self-similar signature; a drifting H says otherwise). Entry 0 is
+  /// the unaggregated fit above. All levels share one FFT through
+  /// fft::SpectrumCascade and each fit warm-starts from the previous
+  /// level's H, so the sweep costs far less than independent fits.
+  std::vector<WhittleLevelFit> whittle_sweep;
 
   /// Median of the point estimates — a robust single answer.
   double consensus() const;
@@ -39,6 +56,11 @@ struct HurstReportConfig {
   std::size_t vt_m_lo = 4;       ///< variance-time fit range
   std::size_t vt_m_hi = 4000;
   double alpha = 0.05;           ///< Beran significance level
+  /// Extra 2x aggregation levels for the Whittle stability sweep
+  /// (0 disables the sweep entirely, leaving whittle_sweep empty). The
+  /// sweep also stops early when a level would fall below 512 bins or
+  /// its length stops being a multiple of 4 (SpectrumCascade::can_halve).
+  std::size_t whittle_sweep_levels = 3;
 };
 
 /// Runs the battery on a count series (length >= 512).

@@ -65,6 +65,24 @@ void BinCountsAccumulator::add(std::span<const double> times) {
   }
 }
 
+void BinCountsAccumulator::merge(const BinCountsAccumulator& other) {
+  if (t0_ != other.t0_ || t1_ != other.t1_ || bin_ != other.bin_ ||
+      counts_.size() != other.counts_.size())
+    throw std::invalid_argument("BinCountsAccumulator::merge: grid mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+}
+
+BinCountsAccumulator BinCountsAccumulator::from_snapshot(
+    const BinCountsSnapshot& s) {
+  BinCountsAccumulator acc(s.t0, s.t1, s.bin);
+  if (acc.counts_.size() != s.counts.size())
+    throw std::invalid_argument(
+        "BinCountsAccumulator::from_snapshot: counts/grid mismatch");
+  acc.counts_ = s.counts;
+  return acc;
+}
+
 std::vector<double> aggregate_mean(std::span<const double> x, std::size_t m) {
   if (m == 0) throw std::invalid_argument("aggregate_mean: m must be >= 1");
   std::vector<double> out;
@@ -117,17 +135,67 @@ void BurstLullAccumulator::push(double count) {
   } else if (occ == occupied_) {
     ++run_;
   } else {
-    (occupied_ ? closed_.burst_lengths : closed_.lull_lengths).push_back(run_);
+    runs_.push_back({run_, occupied_});
     occupied_ = occ;
     run_ = 1;
   }
 }
 
 BurstLull BurstLullAccumulator::finish() const {
-  BurstLull out = closed_;
+  BurstLull out;
+  for (const Run& r : runs_)
+    (r.occupied ? out.burst_lengths : out.lull_lengths).push_back(r.length);
   if (run_ > 0)
     (occupied_ ? out.burst_lengths : out.lull_lengths).push_back(run_);
   return out;
+}
+
+void BurstLullAccumulator::merge(const BurstLullAccumulator& other) {
+  if (other.run_ == 0) return;  // other saw nothing
+  if (run_ == 0) {              // we saw nothing
+    *this = other;
+    return;
+  }
+  // Splice at the boundary: our open run meets other's first run. If
+  // occupancy matches they are one run of the concatenated series.
+  Run first = other.runs_.empty() ? Run{other.run_, other.occupied_}
+                                  : other.runs_.front();
+  if (first.occupied == occupied_) {
+    first.length += run_;
+  } else {
+    runs_.push_back({run_, occupied_});
+  }
+  if (other.runs_.empty()) {
+    // first IS other's open run; it stays open here.
+    run_ = first.length;
+    occupied_ = first.occupied;
+    return;
+  }
+  runs_.push_back(first);
+  runs_.insert(runs_.end(), other.runs_.begin() + 1, other.runs_.end());
+  run_ = other.run_;
+  occupied_ = other.occupied_;
+}
+
+BurstLullSnapshot BurstLullAccumulator::snapshot() const {
+  BurstLullSnapshot s;
+  s.runs.reserve(runs_.size());
+  for (const Run& r : runs_)
+    s.runs.push_back({static_cast<std::uint64_t>(r.length), r.occupied});
+  s.open_length = static_cast<std::uint64_t>(run_);
+  s.open_occupied = occupied_;
+  return s;
+}
+
+BurstLullAccumulator BurstLullAccumulator::from_snapshot(
+    const BurstLullSnapshot& s) {
+  BurstLullAccumulator acc;
+  acc.runs_.reserve(s.runs.size());
+  for (const auto& r : s.runs)
+    acc.runs_.push_back({static_cast<std::size_t>(r.length), r.occupied});
+  acc.run_ = static_cast<std::size_t>(s.open_length);
+  acc.occupied_ = s.open_occupied;
+  return acc;
 }
 
 }  // namespace wan::stats

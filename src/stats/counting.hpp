@@ -14,6 +14,16 @@ namespace wan::stats {
 std::vector<double> bin_counts(std::span<const double> times, double t0,
                                double t1, double bin);
 
+/// Serializable state of a BinCountsAccumulator: its bin grid plus the
+/// counts so far. Counts are exact small integers stored as doubles, so
+/// the snapshot round-trips bit-exactly.
+struct BinCountsSnapshot {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  double bin = 1.0;
+  std::vector<double> counts;
+};
+
 /// Streaming sink form of bin_counts: feed event times chunk by chunk
 /// (any order) and take the finished count series. Memory is bounded by
 /// the number of bins — duration/bin — never by the number of events,
@@ -37,6 +47,21 @@ class BinCountsAccumulator {
   const std::vector<double>& counts() const { return counts_; }
   /// Moves the counts out; the accumulator is empty afterwards.
   std::vector<double> take() { return std::move(counts_); }
+
+  double t0() const { return t0_; }
+  double t1() const { return t1_; }
+  double bin() const { return bin_; }
+
+  /// Adds the other accumulator's counts bin by bin. Both must cover the
+  /// identical [t0, t1)/bin grid (throws std::invalid_argument
+  /// otherwise). Counts are exact integer adds, so merging per-shard
+  /// accumulators in ANY order or tree shape yields the same bits as one
+  /// accumulator fed every event — this is the exactness anchor the
+  /// sharded pipeline's byte-identity rests on.
+  void merge(const BinCountsAccumulator& other);
+
+  BinCountsSnapshot snapshot() const { return {t0_, t1_, bin_, counts_}; }
+  static BinCountsAccumulator from_snapshot(const BinCountsSnapshot& s);
 
  private:
   double t0_ = 0.0;
@@ -66,10 +91,26 @@ struct BurstLull {
 
 BurstLull burst_lull_structure(std::span<const double> counts);
 
+/// Serializable state of a BurstLullAccumulator: the closed runs in
+/// series order plus the open trailing run. Runs alternate occupancy by
+/// construction, which is what makes concatenation-merge exact.
+struct BurstLullSnapshot {
+  struct Run {
+    std::uint64_t length = 0;
+    bool occupied = false;
+  };
+  std::vector<Run> runs;          ///< closed runs, series order
+  std::uint64_t open_length = 0;  ///< 0 means no observation yet
+  bool open_occupied = false;
+};
+
 /// Online form of burst_lull_structure: push bin counts one at a time;
 /// finish() closes the open run. State between pushes is O(1); the
-/// result holds one length per run. burst_lull_structure delegates here,
-/// so streamed and in-memory analyses agree exactly.
+/// result holds one length per run (kept in series order so that two
+/// accumulators over adjacent sub-series merge by concatenation, the
+/// boundary runs fusing when their occupancy matches).
+/// burst_lull_structure delegates here, so streamed and in-memory
+/// analyses agree exactly.
 class BurstLullAccumulator {
  public:
   void push(double count);
@@ -82,10 +123,26 @@ class BurstLullAccumulator {
   /// afterwards (finish does not mutate).
   BurstLull finish() const;
 
+  /// Appends the other accumulator's run sequence to this one, as if its
+  /// observations had been pushed here next. Run lengths are exact
+  /// integer adds and the splice is pure concatenation (the boundary
+  /// pair fusing when occupancy matches), so merge is truly associative:
+  /// any merge tree over an ordered shard partition of the series gives
+  /// the same bits as one serial pass — but only when each operand saw a
+  /// contiguous slice and operands arrive in series order.
+  void merge(const BurstLullAccumulator& other);
+
+  BurstLullSnapshot snapshot() const;
+  static BurstLullAccumulator from_snapshot(const BurstLullSnapshot& s);
+
  private:
-  BurstLull closed_;
-  std::size_t run_ = 0;
-  bool occupied_ = false;
+  struct Run {
+    std::size_t length = 0;
+    bool occupied = false;
+  };
+  std::vector<Run> runs_;   ///< closed runs, series order
+  std::size_t run_ = 0;     ///< open run length; 0 iff nothing pushed
+  bool occupied_ = false;   ///< open run occupancy
 };
 
 }  // namespace wan::stats

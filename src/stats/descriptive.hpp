@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cmath>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -84,6 +85,16 @@ class InterarrivalAccumulator {
   bool has_last_ = false;
 };
 
+/// Serializable state of a MomentAccumulator — the complete Welford
+/// tuple, so an accumulator round-trips through it bit-exactly.
+struct MomentSnapshot {
+  std::uint64_t n = 0;
+  double mean = 0.0;
+  double m2 = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
 /// Single-pass Welford moment accumulator for streamed data: mean,
 /// variance, extrema in O(1) state. Welford's recurrence is numerically
 /// stabler than the two-pass span functions but groups the floating-point
@@ -128,6 +139,44 @@ class MomentAccumulator {
   double stddev() const { return std::sqrt(variance_sample()); }
   double min() const { return n_ ? min_ : 0.0; }
   double max() const { return n_ ? max_ : 0.0; }
+
+  /// Folds another accumulator's state into this one (Chan's parallel
+  /// Welford combination). The result is a pure function of the two
+  /// operand states — merging the same pair always yields the same bits
+  /// — so a reduction over shards is reproducible whenever the fold
+  /// order is fixed (shard 0 <- 1 <- 2 ...). It is NOT bit-equal to
+  /// having pushed the concatenated stream serially; agreement with
+  /// that is to rounding, like everything Welford.
+  void merge(const MomentAccumulator& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+    const double delta = other.mean_ - mean_;
+    const auto na = static_cast<double>(n_);
+    const auto nb = static_cast<double>(other.n_);
+    const double nt = na + nb;
+    mean_ += delta * (nb / nt);
+    m2_ += other.m2_ + delta * delta * (na * nb / nt);
+    n_ += other.n_;
+  }
+
+  MomentSnapshot snapshot() const {
+    return {static_cast<std::uint64_t>(n_), mean_, m2_, min_, max_};
+  }
+
+  static MomentAccumulator from_snapshot(const MomentSnapshot& s) {
+    MomentAccumulator acc;
+    acc.n_ = static_cast<std::size_t>(s.n);
+    acc.mean_ = s.mean;
+    acc.m2_ = s.m2;
+    acc.min_ = s.min;
+    acc.max_ = s.max;
+    return acc;
+  }
 
  private:
   std::size_t n_ = 0;

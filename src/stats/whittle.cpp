@@ -3,6 +3,7 @@
 #include <cmath>
 #include <functional>
 #include <map>
+#include <optional>
 #include <span>
 #include <stdexcept>
 #include <vector>
@@ -232,10 +233,15 @@ double golden_minimize(const std::function<double(double)>& f, double lo,
 // [theta_min, theta_max]; `to_hurst` converts the fitted theta into the
 // reported Hurst units. Objective values are memoized per exact theta:
 // the search re-visits the grid winner and the minimizer, and each
-// repeat saves a full density pass.
+// repeat saves a full density pass. `theta_hint`, when present, is a
+// nearby previous fit: localization then starts from a 3-point bracket
+// check around it instead of the 21-point grid (falling back to the
+// grid when the check fails), which is what makes restarting the search
+// across aggregation levels cheap.
 WhittleResult whittle_estimate(const fft::Periodogram& pg,
                                DensityEvaluator& density, double theta_min,
-                               double theta_max, double (*to_hurst)(double)) {
+                               double theta_max, double (*to_hurst)(double),
+                               std::optional<double> theta_hint = {}) {
   if (pg.frequency.size() < 8)
     throw std::invalid_argument("whittle: too few periodogram ordinates");
 
@@ -246,15 +252,29 @@ WhittleResult whittle_estimate(const fft::Periodogram& pg,
     return memo.emplace(t, whittle_objective(pg, density, t)).first->second;
   };
 
-  // Coarse grid to localize the minimum (the objective is smooth and in
-  // practice unimodal), then golden-section refinement.
-  double best_t = 0.5 * (theta_min + theta_max), best_q = HUGE_VAL;
+  // Localize the minimum (the objective is smooth and in practice
+  // unimodal), then golden-section refinement. A valid hint brackets in
+  // 3 objective evaluations; otherwise a coarse grid takes 21.
+  double best_t = 0.5 * (theta_min + theta_max);
   const double grid = (theta_max - theta_min) / 20.0;
-  for (double t = theta_min; t <= theta_max; t += grid) {
-    const double q = objective(t).q;
-    if (q < best_q) {
-      best_q = q;
-      best_t = t;
+  bool bracketed = false;
+  if (theta_hint && *theta_hint >= theta_min + grid &&
+      *theta_hint <= theta_max - grid) {
+    const double t0 = *theta_hint;
+    const double q_mid = objective(t0).q;
+    if (q_mid <= objective(t0 - grid).q && q_mid <= objective(t0 + grid).q) {
+      best_t = t0;
+      bracketed = true;
+    }
+  }
+  if (!bracketed) {
+    double best_q = HUGE_VAL;
+    for (double t = theta_min; t <= theta_max; t += grid) {
+      const double q = objective(t).q;
+      if (q < best_q) {
+        best_q = q;
+        best_t = t;
+      }
     }
   }
   const double lo = std::max(theta_min, best_t - 1.2 * grid);
@@ -291,9 +311,12 @@ double d_to_hurst(double d) { return d + 0.5; }
 
 }  // namespace
 
-WhittleResult whittle_fgn_from_periodogram(const fft::Periodogram& pg) {
+WhittleResult whittle_fgn_from_periodogram(const fft::Periodogram& pg,
+                                           const WhittleOptions& options) {
   FgnGridEvaluator density(pg.frequency);
-  return whittle_estimate(pg, density, 0.02, 0.99, &identity_map);
+  // theta IS hurst for the fGn family, so the hint needs no conversion.
+  return whittle_estimate(pg, density, 0.02, 0.99, &identity_map,
+                          options.hurst_hint);
 }
 
 WhittleResult whittle_fgn_direct_from_periodogram(

@@ -8,6 +8,7 @@
 // fGn spectral density; the innovation scale is profiled out.
 #pragma once
 
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -40,8 +41,24 @@ struct WhittleResult {
 /// fGn, and aggregation keeps the periodogram affordable).
 WhittleResult whittle_fgn(std::span<const double> x);
 
-/// Same, but starting from a precomputed periodogram.
-WhittleResult whittle_fgn_from_periodogram(const fft::Periodogram& pg);
+/// Warm-start options for the golden-section search inside the Whittle
+/// fit. The search normally localizes the minimum with a 21-point coarse
+/// grid before refining; a caller that already holds a nearby fit — the
+/// adjacent level of an aggregation-stability sweep, or the previous
+/// window of a re-fit stream — passes it as `hurst_hint` and the grid is
+/// replaced by a 3-point bracket check around the hint. A hint that
+/// fails to bracket a minimum (the new fit moved, or the hint was junk)
+/// falls back to the full grid, so the result is the same minimizer
+/// either way — the hint only changes how many density passes localizing
+/// it costs (3 instead of 21).
+struct WhittleOptions {
+  std::optional<double> hurst_hint;
+};
+
+/// Same, but starting from a precomputed periodogram. `options` may
+/// carry a warm-start hint from a neighboring fit.
+WhittleResult whittle_fgn_from_periodogram(const fft::Periodogram& pg,
+                                           const WhittleOptions& options = {});
 
 /// Reference path that re-evaluates fgn_spectral_density at every
 /// ordinate for every candidate H. whittle_fgn* instead evaluate the

@@ -3,12 +3,24 @@
 #include <algorithm>
 #include <limits>
 #include <queue>
+#include <stdexcept>
 #include <utility>
+
+#include "src/stream/shard.hpp"
 
 namespace wan::synth {
 
 namespace {
+
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Shard membership of a conn id — stream::shard_of, with count 1 short-
+// circuited so the unsharded path never touches the hash.
+bool owns_conn(const SynthShard& shard, std::uint32_t conn_id) {
+  return shard.count <= 1 ||
+         stream::shard_of(conn_id, shard.count) == shard.index;
+}
+
 }  // namespace
 
 // One traffic source as a lazily-activated, time-ordered record buffer.
@@ -82,8 +94,12 @@ namespace {
 class TelnetGen final : public StreamingPacketSynthesizer::Generator {
  public:
   TelnetGen(const TelnetConfig& cfg, rng::Rng r, double t0, double t1,
-            std::uint32_t first_id)
-      : Generator(t0, t1), src_(cfg), first_id_(first_id), responder_rng_(0) {
+            std::uint32_t first_id, SynthShard shard)
+      : Generator(t0, t1),
+        src_(cfg),
+        first_id_(first_id),
+        responder_rng_(0),
+        shard_(shard) {
     starts_ = poisson_arrivals_hourly(r, cfg.profile, cfg.conns_per_day, t0,
                                       t1);
     checkpoints_.reserve(starts_.size());
@@ -114,9 +130,14 @@ class TelnetGen final : public StreamingPacketSynthesizer::Generator {
     const auto id = first_id_ + static_cast<std::uint32_t>(idx_);
     trace::PacketTrace tmp("", t0_, t1_);
     src_.append_originator_packets(c, t0_, t1_, id, tmp);
+    // The responder stream is one sequential walk shared by every
+    // connection, so a sharded generator still generates every
+    // connection's responder side — it just discards the records of
+    // connections another shard owns, keeping the stream position (and
+    // hence every owned connection's draws) exactly the serial path's.
     src_.append_responder_packets(responder_rng_, c, t0_, t1_, id,
                                   ResponderConfig{}, tmp);
-    push_all(tmp);
+    if (owns_conn(shard_, id)) push_all(tmp);
     ++idx_;
     return true;
   }
@@ -127,6 +148,7 @@ class TelnetGen final : public StreamingPacketSynthesizer::Generator {
   std::vector<double> starts_;
   std::vector<rng::Rng> checkpoints_;
   rng::Rng responder_rng_;
+  SynthShard shard_;
   std::size_t idx_ = 0;
 };
 
@@ -182,8 +204,9 @@ class BulkGen final : public StreamingPacketSynthesizer::Generator {
 class DnsGen final : public StreamingPacketSynthesizer::Generator {
  public:
   DnsGen(const DnsConfig& cfg, rng::Rng r, double t0, double t1,
-         std::uint32_t first_id)
-      : Generator(t0, t1), cfg_(cfg), first_id_(first_id), rng_(0) {
+         std::uint32_t first_id, SynthShard shard)
+      : Generator(t0, t1), cfg_(cfg), first_id_(first_id), rng_(0),
+        shard_(shard) {
     arrivals_ = poisson_arrivals(r, cfg.queries_per_hour / 3600.0, t0, t1);
     rng_ = r;
   }
@@ -197,10 +220,12 @@ class DnsGen final : public StreamingPacketSynthesizer::Generator {
 
   bool activate_next() override {
     if (idx_ >= arrivals_.size()) return false;
+    const auto id = first_id_ + static_cast<std::uint32_t>(idx_);
     trace::PacketTrace tmp("", t0_, t1_);
-    emit_dns_exchange(rng_, cfg_, arrivals_[idx_], t1_,
-                      first_id_ + static_cast<std::uint32_t>(idx_), tmp);
-    push_all(tmp);
+    // rng_ is one sequential walk: generate every exchange, keep only
+    // the owned ones (see TelnetGen's responder note).
+    emit_dns_exchange(rng_, cfg_, arrivals_[idx_], t1_, id, tmp);
+    if (owns_conn(shard_, id)) push_all(tmp);
     ++idx_;
     return true;
   }
@@ -210,6 +235,7 @@ class DnsGen final : public StreamingPacketSynthesizer::Generator {
   std::uint32_t first_id_;
   rng::Rng rng_;
   std::vector<double> arrivals_;
+  SynthShard shard_;
   std::size_t idx_ = 0;
 };
 
@@ -217,8 +243,9 @@ class DnsGen final : public StreamingPacketSynthesizer::Generator {
 class MboneGen final : public StreamingPacketSynthesizer::Generator {
  public:
   MboneGen(const MboneConfig& cfg, rng::Rng r, double t0, double t1,
-           std::uint32_t first_id)
-      : Generator(t0, t1), cfg_(cfg), first_id_(first_id), rng_(0) {
+           std::uint32_t first_id, SynthShard shard)
+      : Generator(t0, t1), cfg_(cfg), first_id_(first_id), rng_(0),
+        shard_(shard) {
     arrivals_ = poisson_arrivals(r, cfg.sessions_per_hour / 3600.0, t0, t1);
     rng_ = r;
   }
@@ -232,10 +259,10 @@ class MboneGen final : public StreamingPacketSynthesizer::Generator {
 
   bool activate_next() override {
     if (idx_ >= arrivals_.size()) return false;
+    const auto id = first_id_ + static_cast<std::uint32_t>(idx_);
     trace::PacketTrace tmp("", t0_, t1_);
-    emit_mbone_session(rng_, cfg_, arrivals_[idx_], t1_,
-                       first_id_ + static_cast<std::uint32_t>(idx_), tmp);
-    push_all(tmp);
+    emit_mbone_session(rng_, cfg_, arrivals_[idx_], t1_, id, tmp);
+    if (owns_conn(shard_, id)) push_all(tmp);
     ++idx_;
     return true;
   }
@@ -245,14 +272,18 @@ class MboneGen final : public StreamingPacketSynthesizer::Generator {
   std::uint32_t first_id_;
   rng::Rng rng_;
   std::vector<double> arrivals_;
+  SynthShard shard_;
   std::size_t idx_ = 0;
 };
 
 }  // namespace
 
 StreamingPacketSynthesizer::StreamingPacketSynthesizer(
-    PacketDatasetConfig config, std::size_t chunk_size)
-    : config_(std::move(config)), chunk_size_(chunk_size) {
+    PacketDatasetConfig config, std::size_t chunk_size, SynthShard shard)
+    : config_(std::move(config)), chunk_size_(chunk_size), shard_(shard) {
+  if (shard_.count == 0 || shard_.index >= shard_.count)
+    throw std::invalid_argument(
+        "StreamingPacketSynthesizer: shard index must be < count");
   build();
 }
 
@@ -281,7 +312,7 @@ void StreamingPacketSynthesizer::build() {
   TelnetConfig tc = config_.telnet;
   tc.conns_per_day *= config_.volume_scale;
   auto telnet = std::make_unique<TelnetGen>(tc, r_telnet, t0, t1,
-                                            /*first_id=*/1);
+                                            /*first_id=*/1, shard_);
   auto next_conn_id =
       static_cast<std::uint32_t>(1 + telnet->connections());
 
@@ -307,7 +338,14 @@ void StreamingPacketSynthesizer::build() {
   std::vector<BulkGen::Entry> entries;
   for (const trace::ConnRecord& c : bulk.records()) {
     if (!is_bulk_protocol(c.protocol)) continue;
-    entries.push_back({c, next_conn_id++});
+    // Conn ids advance over the FULL entry set in every shard (the
+    // numbering is global); a sharded generator then keeps only its own
+    // entries. Each bulk connection re-seeds bulk_conn_rng(stream_key,
+    // id), so dropped entries consume no randomness — this is where
+    // sharded synthesis actually divides the packet-generation work.
+    const std::uint32_t id = next_conn_id++;
+    if (!owns_conn(shard_, id)) continue;
+    entries.push_back({c, id});
   }
   auto bulk_gen = std::make_unique<BulkGen>(std::move(entries), stream_key,
                                             config_.fill, t0, t1);
@@ -318,12 +356,13 @@ void StreamingPacketSynthesizer::build() {
   if (!config_.tcp_only) {
     DnsConfig dc = config_.dns;
     dc.queries_per_hour *= config_.volume_scale;
-    auto dns = std::make_unique<DnsGen>(dc, r_dns, t0, t1, next_conn_id);
+    auto dns =
+        std::make_unique<DnsGen>(dc, r_dns, t0, t1, next_conn_id, shard_);
     next_conn_id += static_cast<std::uint32_t>(dns->connections());
     MboneConfig mc = config_.mbone;
     mc.sessions_per_hour *= config_.volume_scale;
     auto mbone = std::make_unique<MboneGen>(mc, r_mbone, t0, t1,
-                                            next_conn_id);
+                                            next_conn_id, shard_);
     gens_.push_back(std::move(dns));
     gens_.push_back(std::move(mbone));
   }

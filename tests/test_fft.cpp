@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
 #include <span>
@@ -9,6 +10,7 @@
 #include "src/fft/periodogram.hpp"
 #include "src/fft/plan.hpp"
 #include "src/rng/rng.hpp"
+#include "src/stats/counting.hpp"
 #include "src/stats/descriptive.hpp"
 
 namespace wan::fft {
@@ -184,6 +186,87 @@ TEST(Periodogram, OddLengthTrimsToEvenPlannedTransform) {
   EXPECT_EQ(rs.misses, 1u);
   EXPECT_EQ(rs.hits, 1u);
   EXPECT_EQ(rs.entries, 1u);
+}
+
+TEST(SpectrumCascade, LevelZeroIsBitwisePeriodogram) {
+  rng::Rng rng(17);
+  std::vector<double> x(4096);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+
+  SpectrumCascade cascade(x);
+  const auto direct = periodogram(x);
+  const auto derived = cascade.current();
+  EXPECT_EQ(cascade.length(), x.size());
+  EXPECT_EQ(cascade.factor(), 1u);
+  ASSERT_EQ(derived.ordinate.size(), direct.ordinate.size());
+  for (std::size_t j = 0; j < direct.ordinate.size(); ++j) {
+    EXPECT_EQ(derived.frequency[j], direct.frequency[j]) << "j=" << j;
+    EXPECT_EQ(derived.ordinate[j], direct.ordinate[j]) << "j=" << j;
+  }
+}
+
+TEST(SpectrumCascade, HalvedLevelsMatchTimeDomainAggregation) {
+  // Three successive halvings against aggregate_mean + a fresh FFT: the
+  // spectral identity is exact in real arithmetic, so the ordinates may
+  // differ only by accumulated rounding (~1e-12 relative).
+  rng::Rng rng(19);
+  std::vector<double> x(1 << 12);
+  for (double& v : x) v = rng.uniform(0.0, 4.0);
+
+  SpectrumCascade cascade(x);
+  std::vector<double> agg(x);
+  for (int level = 1; level <= 3; ++level) {
+    ASSERT_TRUE(cascade.can_halve());
+    cascade.halve();
+    agg = wan::stats::aggregate_mean(agg, 2);
+    EXPECT_EQ(cascade.length(), agg.size());
+    EXPECT_EQ(cascade.factor(), std::size_t{1} << level);
+
+    const auto direct = periodogram(agg);
+    const auto derived = cascade.current();
+    ASSERT_EQ(derived.ordinate.size(), direct.ordinate.size());
+    double scale = 0.0;
+    for (double v : direct.ordinate) scale = std::max(scale, v);
+    for (std::size_t j = 0; j < direct.ordinate.size(); ++j) {
+      EXPECT_EQ(derived.frequency[j], direct.frequency[j]) << "j=" << j;
+      EXPECT_NEAR(derived.ordinate[j], direct.ordinate[j], 1e-9 * scale)
+          << "level=" << level << " j=" << j;
+    }
+  }
+}
+
+TEST(SpectrumCascade, HalvingGuards) {
+  // 12 = 4 * 3: one halving leaves length 6, whose time-domain sibling
+  // would trim a sample before its FFT — so the cascade must refuse.
+  std::vector<double> x(12, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<double>(i);
+  SpectrumCascade cascade(x);
+  ASSERT_TRUE(cascade.can_halve());
+  cascade.halve();
+  EXPECT_EQ(cascade.length(), 6u);
+  EXPECT_FALSE(cascade.can_halve());
+  EXPECT_THROW(cascade.halve(), std::logic_error);
+
+  // Too short for even one ordinate after halving.
+  std::vector<double> tiny(4, 1.0);
+  SpectrumCascade small(tiny);
+  EXPECT_FALSE(small.can_halve());
+
+  std::vector<double> nothing(3, 1.0);
+  EXPECT_THROW(SpectrumCascade{nothing}, std::invalid_argument);
+}
+
+TEST(SpectrumCascade, OddInputTrimsLikePeriodogram) {
+  rng::Rng rng(23);
+  std::vector<double> x(1025);
+  for (double& v : x) v = rng.uniform(-1.0, 1.0);
+  SpectrumCascade cascade(x);
+  EXPECT_EQ(cascade.length(), 1024u);
+  const auto trimmed = periodogram(std::span<const double>(x).first(1024));
+  const auto derived = cascade.current();
+  ASSERT_EQ(derived.ordinate.size(), trimmed.ordinate.size());
+  for (std::size_t j = 0; j < trimmed.ordinate.size(); ++j)
+    EXPECT_EQ(derived.ordinate[j], trimmed.ordinate[j]) << "j=" << j;
 }
 
 }  // namespace

@@ -100,6 +100,41 @@ TEST(HurstReport, Validation) {
   EXPECT_THROW(hurst_report(tiny), std::invalid_argument);
 }
 
+TEST(HurstReport, WhittleSweepIsStableForExactFgn) {
+  rng::Rng rng(9);
+  const auto x = generate_fgn(rng, 1 << 14, 0.8);
+  const auto r = hurst_report(x);
+  // Default config: 3 extra 2x levels on the 8192-bin analysis series,
+  // stopping before any level falls under 512 bins.
+  ASSERT_EQ(r.whittle_sweep.size(), 4u);
+  EXPECT_EQ(r.whittle_sweep[0].aggregation, 1u);
+  EXPECT_EQ(r.whittle_sweep[0].hurst, r.whittle_fgn_hurst);
+  EXPECT_EQ(r.whittle_sweep[0].stderr_hurst, r.whittle_fgn_stderr);
+  for (std::size_t k = 1; k < r.whittle_sweep.size(); ++k) {
+    const auto& level = r.whittle_sweep[k];
+    EXPECT_EQ(level.aggregation, std::size_t{1} << k);
+    EXPECT_EQ(level.bins, (std::size_t{1} << 13) >> k);
+    // The paper's self-similar signature: H holds steady across levels
+    // (shorter levels are noisier, hence the loose band).
+    EXPECT_NEAR(level.hurst, 0.8, 0.08) << "M=" << level.aggregation;
+    EXPECT_GT(level.stderr_hurst, r.whittle_sweep[k - 1].stderr_hurst);
+  }
+  // The sweep line only renders when the sweep ran.
+  EXPECT_NE(r.to_string().find("Whittle H by aggregation"),
+            std::string::npos);
+}
+
+TEST(HurstReport, WhittleSweepDisabled) {
+  rng::Rng rng(5);
+  const auto x = generate_fgn(rng, 2048, 0.7);
+  HurstReportConfig cfg;
+  cfg.whittle_sweep_levels = 0;
+  const auto r = hurst_report(x, cfg);
+  EXPECT_TRUE(r.whittle_sweep.empty());
+  EXPECT_EQ(r.to_string().find("Whittle H by aggregation"),
+            std::string::npos);
+}
+
 // ----------------------------------------------- TCP-paced packet fill
 
 TEST(TcpPacedFill, WindowDynamicsRoughenTheGapProcess) {

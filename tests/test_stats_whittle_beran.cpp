@@ -119,6 +119,40 @@ TEST(Whittle, GridEvaluatorMatchesDirectDensityPath) {
   }
 }
 
+TEST(Whittle, WarmStartMatchesColdSearch) {
+  // A hint near the optimum replaces the 21-point localization grid
+  // with a 3-point bracket check; both paths then refine with the same
+  // golden-section tolerance, so the fits agree to within that
+  // tolerance everywhere the hint brackets.
+  for (double h : {0.6, 0.8, 0.9}) {
+    rng::Rng rng(41 + static_cast<std::uint64_t>(h * 100));
+    const auto x = selfsim::generate_fgn(rng, 8192, h);
+    const auto pg = fft::periodogram(x);
+    const auto cold = whittle_fgn_from_periodogram(pg);
+    WhittleOptions warm;
+    warm.hurst_hint = cold.hurst + 0.01;  // "previous level" quality hint
+    const auto hinted = whittle_fgn_from_periodogram(pg, warm);
+    EXPECT_NEAR(hinted.hurst, cold.hurst, 5e-5) << "H=" << h;
+    EXPECT_NEAR(hinted.scale, cold.scale, 1e-4 * cold.scale);
+  }
+}
+
+TEST(Whittle, JunkHintFallsBackToFullGrid) {
+  // A hint far from the optimum fails the bracket check and the search
+  // falls back to the coarse grid — the fit must not be dragged toward
+  // the bad hint.
+  rng::Rng rng(43);
+  const auto x = selfsim::generate_fgn(rng, 8192, 0.9);
+  const auto pg = fft::periodogram(x);
+  const auto cold = whittle_fgn_from_periodogram(pg);
+  for (double junk : {0.05, 0.3, 0.98}) {
+    WhittleOptions warm;
+    warm.hurst_hint = junk;
+    const auto hinted = whittle_fgn_from_periodogram(pg, warm);
+    EXPECT_NEAR(hinted.hurst, cold.hurst, 5e-5) << "hint=" << junk;
+  }
+}
+
 // ------------------------------------------------------------- Beran
 
 TEST(Beran, ExactFgnIsConsistent) {

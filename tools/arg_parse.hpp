@@ -6,10 +6,18 @@
 // starting with "--" must be a registered flag (value flags must have a
 // value following), everything else is a positional. Unknown flags fail
 // loudly so the caller can print usage.
+//
+// Numeric values are strict too: number() and count() require the whole
+// string to parse ("--bin fast" and "--shards 2.5" used to atof to 0
+// and silently reconfigure the run), and count() enforces a lower
+// bound so "--shards 0" is an error, not a surprise. Contradictory
+// flag combinations are rejected through reject_together with a
+// message naming both spellings.
 #pragma once
 
 #include <cstdlib>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -64,9 +72,53 @@ class ArgParser {
     return (o != options_.end() && !o->second.empty()) ? &o->second : nullptr;
   }
 
+  /// True when the argument appeared at all — a set boolean flag or a
+  /// value flag that was given (either registration).
+  bool given(const std::string& name) const {
+    return has(name) || value(name) != nullptr;
+  }
+
+  /// Strict numeric value: the whole string must parse as a number.
+  /// Throws std::invalid_argument on "--bin fast" or "--bin 1x".
   double number(const std::string& name, double fallback) const {
     const std::string* v = value(name);
-    return v ? std::atof(v->c_str()) : fallback;
+    if (v == nullptr) return fallback;
+    char* end = nullptr;
+    const double d = std::strtod(v->c_str(), &end);
+    if (end == v->c_str() || *end != '\0')
+      throw std::invalid_argument("flag " + name + " wants a number, got '" +
+                                  *v + "'");
+    return d;
+  }
+
+  /// Strict integer count with a lower bound: fractional, negative,
+  /// non-numeric and below-minimum values (e.g. "--shards 0" with
+  /// min_value 1) all throw std::invalid_argument.
+  std::size_t count(const std::string& name, std::size_t fallback,
+                    std::size_t min_value = 0) const {
+    const std::string* v = value(name);
+    if (v == nullptr) return fallback;
+    char* end = nullptr;
+    const unsigned long long u = std::strtoull(v->c_str(), &end, 10);
+    if (end == v->c_str() || *end != '\0' ||
+        v->find_first_not_of("0123456789") != std::string::npos)
+      throw std::invalid_argument("flag " + name +
+                                  " wants a non-negative integer, got '" + *v +
+                                  "'");
+    if (u < min_value)
+      throw std::invalid_argument("flag " + name + " wants at least " +
+                                  std::to_string(min_value) + ", got '" + *v +
+                                  "'");
+    return static_cast<std::size_t>(u);
+  }
+
+  /// Throws std::invalid_argument when both arguments were given —
+  /// `why` explains the contradiction in the error message.
+  void reject_together(const std::string& a, const std::string& b,
+                       const std::string& why) const {
+    if (given(a) && given(b))
+      throw std::invalid_argument(a + " and " + b +
+                                  " are mutually exclusive: " + why);
   }
 
   const std::vector<std::string>& positional() const { return positional_; }

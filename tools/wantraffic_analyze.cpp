@@ -21,6 +21,15 @@
 // the batch path's. The streamed analysis is columnar by default
 // (src/stream/columnar.hpp); --rows forces the retained row-at-a-time
 // pipeline, which produces the same bytes several times slower.
+//
+// --shards N (pkt mode, implies --stream) fans the analysis — and,
+// with --ingest-format, flow reconstruction itself — across N
+// flow-hash shards on the src/par worker pool (--threads M sizes it).
+// Sharded output is byte-identical to the serial path at every shard
+// and thread count; see src/stream/shard.hpp for the contract.
+// --shards contradicts --rows (the row pipeline has no sharded path)
+// and conn mode (connection closure order is not shard-invariant);
+// both combinations are rejected, as is --shards 0.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -28,11 +37,13 @@
 
 #include "src/core/poisson_report.hpp"
 #include "src/ingest/ingest.hpp"
+#include "src/par/parallel.hpp"
 #include "src/selfsim/hurst_report.hpp"
 #include "src/stats/tail_fit.hpp"
 #include "src/stream/binary_chunk.hpp"
 #include "src/stream/csv_chunk.hpp"
 #include "src/stream/pipeline.hpp"
+#include "src/stream/shard.hpp"
 #include "src/trace/binary_io.hpp"
 #include "src/trace/burst.hpp"
 #include "src/trace/csv_io.hpp"
@@ -52,6 +63,8 @@ int usage() {
                "[--protocol NAME] [--binary]\n"
                "                         [--filtered] [--vt-csv FILE] "
                "[--stream] [--rows] [--chunk N]\n"
+               "                         [--shards N (implies --stream)] "
+               "[--threads N]\n"
                "  either mode: [--ingest-format pcap|lbl-conn|lbl-pkt] "
                "[--lenient]\n");
   return 2;
@@ -75,8 +88,7 @@ ingest::IngestOptions ingest_options(const tools::ArgParser& args) {
   ingest::IngestOptions opt;
   opt.mode = args.has("--lenient") ? ingest::ParseMode::kLenient
                                    : ingest::ParseMode::kStrict;
-  opt.chunk_size = static_cast<std::size_t>(
-      args.number("--chunk", static_cast<double>(opt.chunk_size)));
+  opt.chunk_size = args.count("--chunk", opt.chunk_size, 1);
   return opt;
 }
 
@@ -87,6 +99,10 @@ void print_ingest_ledger(const ingest::IngestStats& stats) {
 }
 
 int run_conn(const std::string& path, const tools::ArgParser& args) {
+  if (args.given("--shards"))
+    throw std::invalid_argument(
+        "--shards applies to pkt mode only: connection closure order is "
+        "not shard-invariant");
   trace::ConnTrace tr;
   if (const auto format = ingest_format(args)) {
     ingest::IngestStats stats;
@@ -146,16 +162,22 @@ int report_pkt(const stream::PipelineResult& result,
   return 0;
 }
 
-// Streamed analysis entry point: columnar by default, the retained row
-// pipeline under --rows. Byte-identical either way.
+// Streamed analysis entry point: columnar by default, sharded across
+// the worker pool under --shards, the retained row pipeline under
+// --rows. Byte-identical every way.
 stream::PipelineResult analyze(stream::PacketChunkSource& src,
                                const stream::PipelineOptions& opt,
-                               const tools::ArgParser& args) {
+                               const tools::ArgParser& args,
+                               std::size_t shards) {
+  if (shards > 1) return stream::analyze_stream_sharded(src, opt, {shards});
   if (args.has("--rows")) return stream::analyze_stream_rows(src, opt);
   return stream::analyze_stream(src, opt);
 }
 
 int run_pkt(const std::string& path, const tools::ArgParser& args) {
+  args.reject_together("--rows", "--shards",
+                       "the retained row pipeline has no sharded path");
+  const std::size_t shards = args.count("--shards", 1, 1);
   stream::PipelineOptions opt;
   opt.bin = args.number("--bin", opt.bin);
   if (const std::string* proto_s = args.value("--protocol")) {
@@ -170,15 +192,15 @@ int run_pkt(const std::string& path, const tools::ArgParser& args) {
     opt.orig_data_only = true;
     opt.remove_outliers = true;
   }
-  opt.chunk_size = static_cast<std::size_t>(
-      args.number("--chunk", static_cast<double>(opt.chunk_size)));
+  opt.chunk_size = args.count("--chunk", opt.chunk_size, 1);
 
   if (const auto format = ingest_format(args)) {
-    const auto src =
-        ingest::open_packet_source(path, *format, ingest_options(args));
+    ingest::IngestOptions iopt = ingest_options(args);
+    iopt.shards = shards;  // shard flow reconstruction too
+    const auto src = ingest::open_packet_source(path, *format, iopt);
     stream::PipelineResult result;
-    if (args.has("--stream")) {
-      result = analyze(*src, opt, args);
+    if (args.has("--stream") || shards > 1) {
+      result = analyze(*src, opt, args, shards);
     } else {
       result = stream::analyze_batch(stream::collect(*src), opt);
     }
@@ -189,14 +211,14 @@ int run_pkt(const std::string& path, const tools::ArgParser& args) {
     return report_pkt(result, args);
   }
 
-  if (args.has("--stream")) {
+  if (args.has("--stream") || shards > 1) {
     stream::PipelineResult result;
     if (args.has("--binary")) {
       stream::BinaryChunkSource src(path, opt.chunk_size);
-      result = analyze(src, opt, args);
+      result = analyze(src, opt, args, shards);
     } else {
       stream::CsvChunkSource src(path, opt.chunk_size);
-      result = analyze(src, opt, args);
+      result = analyze(src, opt, args, shards);
     }
     std::printf("streamed %llu packets from %s (%s)\n",
                 static_cast<unsigned long long>(result.packets), path.c_str(),
@@ -226,6 +248,8 @@ int main(int argc, char** argv) {
   args.add_option("--protocol");
   args.add_option("--vt-csv");
   args.add_option("--chunk");
+  args.add_option("--shards");
+  args.add_option("--threads");
 
   std::string error;
   if (!args.parse(&error)) {
@@ -237,6 +261,8 @@ int main(int argc, char** argv) {
   const std::string& path = args.positional()[1];
 
   try {
+    if (const std::size_t threads = args.count("--threads", 0, 1))
+      par::set_thread_count(threads);
     if (mode == "conn") return run_conn(path, args);
     if (mode == "pkt") return run_pkt(path, args);
     return usage();
