@@ -8,8 +8,11 @@
 // produces a single machine-readable perf trajectory file.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <functional>
 #include <sstream>
@@ -19,6 +22,14 @@
 #include <vector>
 
 #include "src/par/parallel.hpp"
+
+// The build injects WAN_BENCH_DEFAULT_JSON (the repo-root
+// BENCH_perf.json) so every bench appends into the one committed perf
+// trajectory file regardless of the working directory it runs from. The
+// cwd fallback keeps the header usable outside the repo's build.
+#ifndef WAN_BENCH_DEFAULT_JSON
+#define WAN_BENCH_DEFAULT_JSON "BENCH_perf.json"
+#endif
 
 namespace wan::bench {
 
@@ -32,6 +43,7 @@ struct BenchResult {
   double speedup = 1.0;       ///< serial_ms / parallel_ms
   double throughput = 0.0;    ///< items per second at the best time
   bool identical = true;      ///< parallel output matched serial output
+  int repeats = 1;            ///< timed runs behind the recorded times
   /// Extra key → raw-JSON-value pairs appended verbatim to the record
   /// (e.g. {"peak_rss_kb", "12345"} or {"rss_bounded", "true"}), for
   /// benches that measure more than wall time.
@@ -61,13 +73,48 @@ inline double min_time_ms(const std::function<void()>& fn, int reps = 3) {
   return best;
 }
 
+/// Median-of-`reps` wall time of fn after one untimed warmup run, in
+/// milliseconds — the --repeat timing mode. Median resists the
+/// one-sided noise (page faults, frequency ramps, a neighbor stealing
+/// the core) that makes min optimistic and mean pessimistic; the warmup
+/// pays the cold-cache/allocator cost outside the measurement.
+inline double median_time_ms(const std::function<void()>& fn, int reps = 3) {
+  fn();  // warmup, untimed
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(reps > 0 ? reps : 1));
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    samples.push_back(
+        std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  std::sort(samples.begin(), samples.end());
+  const std::size_t mid = samples.size() / 2;
+  return samples.size() % 2 == 1
+             ? samples[mid]
+             : 0.5 * (samples[mid - 1] + samples[mid]);
+}
+
 class Harness {
  public:
-  /// argv[1] overrides the JSON output path (default BENCH_perf.json in
-  /// the working directory).
+  /// argv[1], when it is not a flag, overrides the JSON output path
+  /// (default: the repo-root BENCH_perf.json baked in at build time).
+  /// "--repeat N" anywhere in argv switches every compare/serial_only
+  /// timing from best-of-reps to median-of-N-with-warmup; other flags
+  /// (--smoke, bench-specific knobs) pass through untouched for the
+  /// bench's own argv scan. Only position 1 can be the path — a later
+  /// bare token may be some flag's value (e.g. "--days 30").
   Harness(int argc, char** argv)
-      : path_(argc > 1 ? argv[1] : "BENCH_perf.json"),
+      : path_(WAN_BENCH_DEFAULT_JSON),
         threads_(par::thread_count() > 4 ? par::thread_count() : 4) {
+    if (argc > 1 && argv[1][0] != '-') path_ = argv[1];
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--repeat") == 0) {
+        repeat_ = std::atoi(argv[i + 1]);
+        if (repeat_ < 1) repeat_ = 1;
+      }
+    }
     std::printf("%-34s %10s %10s %8s %8s %s\n", "op", "serial_ms",
                 "par_ms", "speedup", "ident", "throughput");
   }
@@ -75,6 +122,17 @@ class Harness {
   ~Harness() { write(); }
 
   std::size_t threads() const { return threads_; }
+
+  /// Timed runs per measurement: the --repeat override, or the bench's
+  /// own default when --repeat was not given.
+  int repeats(int fallback) const { return repeat_ > 0 ? repeat_ : fallback; }
+
+  /// One measurement under the active timing mode: median-of-N with
+  /// warmup under --repeat, best-of-reps otherwise.
+  double time_ms(const std::function<void()>& fn, int reps) const {
+    const int n = repeats(reps);
+    return repeat_ > 0 ? median_time_ms(fn, n) : min_time_ms(fn, n);
+  }
 
   /// Appends rows/sec and bytes/sec extras derived from the row's best
   /// time: rows_per_s is the throughput in items (records) per second,
@@ -104,12 +162,13 @@ class Harness {
     r.threads = threads_;
     r.items = items;
     r.unit = unit;
+    r.repeats = repeats(reps);
 
     par::set_thread_count(1);
-    r.serial_ms = min_time_ms(run_serial, reps);
+    r.serial_ms = time_ms(run_serial, reps);
 
     par::set_thread_count(threads_);
-    r.parallel_ms = min_time_ms(run_parallel, reps);
+    r.parallel_ms = time_ms(run_parallel, reps);
 
     r.speedup = r.parallel_ms > 0.0 ? r.serial_ms / r.parallel_ms : 1.0;
     const double best =
@@ -129,8 +188,9 @@ class Harness {
     r.threads = 1;
     r.items = items;
     r.unit = unit;
+    r.repeats = repeats(reps);
     par::set_thread_count(1);
-    r.serial_ms = min_time_ms(run, reps);
+    r.serial_ms = time_ms(run, reps);
     r.parallel_ms = r.serial_ms;
     r.throughput =
         r.serial_ms > 0.0 ? items / (r.serial_ms / 1000.0) : 0.0;
@@ -196,7 +256,8 @@ class Harness {
       << ", \"parallel_ms\": " << r.parallel_ms
       << ", \"speedup\": " << r.speedup
       << ", \"throughput_per_s\": " << r.throughput
-      << ", \"identical\": " << (r.identical ? "true" : "false");
+      << ", \"identical\": " << (r.identical ? "true" : "false")
+      << ", \"repeats\": " << r.repeats;
     for (const auto& [key, value] : r.extra)
       j << ", \"" << key << "\": " << value;
     j << "}";
@@ -205,6 +266,7 @@ class Harness {
 
   std::string path_;
   std::size_t threads_;
+  int repeat_ = 0;  ///< 0: best-of-reps; >0: --repeat median-of-N
   std::vector<BenchResult> results_;
 };
 

@@ -115,9 +115,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--days") == 0 && i + 1 < argc)
       days = std::atof(argv[++i]);
   }
-  // Keep flags out of the harness's argv[1]-is-the-JSON-path logic.
-  const bool path_given = argc > 1 && argv[1][0] != '-';
-  bench::Harness harness(path_given ? 2 : 1, argv);
+  bench::Harness harness(argc, argv);  // flags in argv[1] are not a path
 
   Scenario sc;
   if (smoke) {

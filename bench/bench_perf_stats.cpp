@@ -140,9 +140,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
-  // Keep "--smoke" out of the harness's argv[1]-is-the-JSON-path logic.
-  const bool path_given = argc > 1 && std::strcmp(argv[1], "--smoke") != 0;
-  bench::Harness harness(path_given ? 2 : 1, argv);
+  bench::Harness harness(argc, argv);  // skips flags when locating the path
   const int reps = smoke ? 1 : 3;
   constexpr double kSampleBytes = sizeof(double);
 

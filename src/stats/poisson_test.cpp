@@ -11,66 +11,45 @@
 
 namespace wan::stats {
 
-PoissonTestResult test_poisson_arrivals(std::span<const double> arrival_times,
-                                        const PoissonTestConfig& config,
-                                        double t_begin, double t_end) {
-  if (!(config.interval_length > 0.0))
-    throw std::invalid_argument("PoissonTestConfig: interval_length must be > 0");
-  std::vector<double> times(arrival_times.begin(), arrival_times.end());
-  std::sort(times.begin(), times.end());
-
-  PoissonTestResult result;
-  if (times.empty()) return result;
-
-  if (!(t_end > t_begin)) {
-    t_begin = times.front();
-    t_end = times.back() + 1e-9;
-  }
-
-  const double I = config.interval_length;
-  const auto n_slots =
-      static_cast<std::size_t>(std::ceil((t_end - t_begin) / I));
-
-  std::size_t lo = 0;
-  for (std::size_t slot = 0; slot < n_slots; ++slot) {
-    const double s0 = t_begin + static_cast<double>(slot) * I;
-    const double s1 = s0 + I;
-    // Advance [lo, hi) to the arrivals inside [s0, s1).
-    while (lo < times.size() && times[lo] < s0) ++lo;
-    std::size_t hi = lo;
-    while (hi < times.size() && times[hi] < s1) ++hi;
-
-    IntervalOutcome oc;
-    oc.start = s0;
-    if (hi > lo + 1) {
-      std::vector<double> gaps;
-      gaps.reserve(hi - lo - 1);
-      for (std::size_t i = lo + 1; i < hi; ++i)
-        gaps.push_back(times[i] - times[i - 1]);
-      oc.n_interarrivals = gaps.size();
-      if (gaps.size() >= config.min_interarrivals &&
-          mean(gaps) > 0.0) {
-        oc.tested = true;
-        const AdResult ad = ad_test_exponential(gaps, config.significance);
-        oc.a2_modified = ad.a2_modified;
-        oc.pass_exponential = ad.pass;
-        oc.lag1 = lag1_autocorrelation(gaps);
-        // Center on the i.i.d. small-sample bias E[r(1)] = -1/n so both
-        // the magnitude and the sign test are calibrated.
-        const double centered = oc.lag1 - lag1_bias(gaps.size());
-        oc.pass_independence =
-            std::abs(centered) <= lag1_threshold(gaps.size());
-
-        ++result.n_intervals;
-        if (oc.pass_exponential) ++result.n_pass_exponential;
-        if (oc.pass_independence) ++result.n_pass_independence;
-        if (centered > 0.0) ++result.n_positive_lag1;
-      }
+IntervalOutcome test_poisson_interval(std::span<const double> sorted_times,
+                                      double start,
+                                      const PoissonTestConfig& config) {
+  IntervalOutcome oc;
+  oc.start = start;
+  if (sorted_times.size() > 1) {
+    std::vector<double> gaps;
+    gaps.reserve(sorted_times.size() - 1);
+    for (std::size_t i = 1; i < sorted_times.size(); ++i)
+      gaps.push_back(sorted_times[i] - sorted_times[i - 1]);
+    oc.n_interarrivals = gaps.size();
+    if (gaps.size() >= config.min_interarrivals && mean(gaps) > 0.0) {
+      oc.tested = true;
+      const AdResult ad = ad_test_exponential(gaps, config.significance);
+      oc.a2_modified = ad.a2_modified;
+      oc.pass_exponential = ad.pass;
+      oc.lag1 = lag1_autocorrelation(gaps);
+      // Center on the i.i.d. small-sample bias E[r(1)] = -1/n so both
+      // the magnitude and the sign test are calibrated.
+      const double centered = oc.lag1 - lag1_bias(gaps.size());
+      oc.pass_independence =
+          std::abs(centered) <= lag1_threshold(gaps.size());
     }
-    result.intervals.push_back(oc);
-    lo = hi;
   }
+  return oc;
+}
 
+PoissonTestResult aggregate_poisson_intervals(
+    std::vector<IntervalOutcome> intervals, const PoissonTestConfig& config) {
+  PoissonTestResult result;
+  for (const IntervalOutcome& oc : intervals) {
+    if (!oc.tested) continue;
+    ++result.n_intervals;
+    if (oc.pass_exponential) ++result.n_pass_exponential;
+    if (oc.pass_independence) ++result.n_pass_independence;
+    if (oc.lag1 - lag1_bias(oc.n_interarrivals) > 0.0)
+      ++result.n_positive_lag1;
+  }
+  result.intervals = std::move(intervals);
   if (result.n_intervals == 0) return result;
 
   const double n = static_cast<double>(result.n_intervals);
@@ -91,6 +70,42 @@ PoissonTestResult test_poisson_arrivals(std::span<const double> arrival_times,
       sign_bias(result.n_intervals, result.n_positive_lag1,
                 config.aggregate_alpha);
   return result;
+}
+
+PoissonTestResult test_poisson_arrivals(std::span<const double> arrival_times,
+                                        const PoissonTestConfig& config,
+                                        double t_begin, double t_end) {
+  if (!(config.interval_length > 0.0))
+    throw std::invalid_argument("PoissonTestConfig: interval_length must be > 0");
+  std::vector<double> times(arrival_times.begin(), arrival_times.end());
+  std::sort(times.begin(), times.end());
+
+  if (times.empty()) return PoissonTestResult{};
+
+  if (!(t_end > t_begin)) {
+    t_begin = times.front();
+    t_end = times.back() + 1e-9;
+  }
+
+  const double I = config.interval_length;
+  const auto n_slots =
+      static_cast<std::size_t>(std::ceil((t_end - t_begin) / I));
+
+  std::vector<IntervalOutcome> intervals;
+  intervals.reserve(n_slots);
+  std::size_t lo = 0;
+  for (std::size_t slot = 0; slot < n_slots; ++slot) {
+    const double s0 = t_begin + static_cast<double>(slot) * I;
+    const double s1 = s0 + I;
+    // Advance [lo, hi) to the arrivals inside [s0, s1).
+    while (lo < times.size() && times[lo] < s0) ++lo;
+    std::size_t hi = lo;
+    while (hi < times.size() && times[hi] < s1) ++hi;
+    intervals.push_back(test_poisson_interval(
+        std::span<const double>(times).subspan(lo, hi - lo), s0, config));
+    lo = hi;
+  }
+  return aggregate_poisson_intervals(std::move(intervals), config);
 }
 
 std::string to_string(const PoissonTestResult& r) {

@@ -74,6 +74,24 @@ PoissonTestResult test_poisson_arrivals(std::span<const double> arrival_times,
                                         double t_begin = 0.0,
                                         double t_end = 0.0);
 
+/// Tests one interval in isolation: `sorted_times` are the arrivals
+/// inside [start, start + interval_length), already in time order. The
+/// outcome is a pure function of those arrivals and the config — no
+/// state bridges intervals — which is what lets a sliding-window tester
+/// keep a ring of outcomes and retest nothing. test_poisson_arrivals
+/// calls this per slot, so the two paths share every bit of arithmetic.
+IntervalOutcome test_poisson_interval(std::span<const double> sorted_times,
+                                      double start,
+                                      const PoissonTestConfig& config = {});
+
+/// Folds per-interval outcomes into the whole-trace verdict (pass
+/// counts, binomial consistency, lag-1 sign bias). Pure aggregation
+/// over the outcomes in order — the second shared half of
+/// test_poisson_arrivals, and the finish step of the windowed tester.
+PoissonTestResult aggregate_poisson_intervals(
+    std::vector<IntervalOutcome> intervals,
+    const PoissonTestConfig& config = {});
+
 /// One-line rendering, e.g. "exp 93% indep 96% [POISSON] (+)".
 std::string to_string(const PoissonTestResult& r);
 

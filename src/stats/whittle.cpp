@@ -1,5 +1,6 @@
 #include "src/stats/whittle.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <map>
@@ -55,6 +56,11 @@ double farima_spectral_density(double lambda, double d) {
 }
 
 namespace {
+
+// fGn fit range in theta == H, shared by the from-scratch estimator and
+// the WhittleRefitter lattice so the two paths agree on boundary cases.
+constexpr double kFgnThetaMin = 0.02;
+constexpr double kFgnThetaMax = 0.99;
 
 using DensityFn = double (*)(double lambda, double theta);
 
@@ -315,19 +321,242 @@ WhittleResult whittle_fgn_from_periodogram(const fft::Periodogram& pg,
                                            const WhittleOptions& options) {
   FgnGridEvaluator density(pg.frequency);
   // theta IS hurst for the fGn family, so the hint needs no conversion.
-  return whittle_estimate(pg, density, 0.02, 0.99, &identity_map,
-                          options.hurst_hint);
+  return whittle_estimate(pg, density, kFgnThetaMin, kFgnThetaMax,
+                          &identity_map, options.hurst_hint);
 }
 
 WhittleResult whittle_fgn_direct_from_periodogram(
     const fft::Periodogram& pg) {
   DirectEvaluator density(pg.frequency, &fgn_spectral_density);
-  return whittle_estimate(pg, density, 0.02, 0.99, &identity_map);
+  return whittle_estimate(pg, density, kFgnThetaMin, kFgnThetaMax,
+                          &identity_map);
 }
 
 WhittleResult whittle_fgn(std::span<const double> x) {
   const auto pg = fft::periodogram(x);
   return whittle_fgn_from_periodogram(pg);
+}
+
+struct WhittleRefitter::Impl {
+  std::vector<double> frequency;  ///< grid the tables were built for
+  std::vector<double> h;          ///< candidate H lattice
+  std::vector<double> log_f_sum;  ///< per candidate: sum_j log f(lambda_j)
+  std::vector<double> inv_f;      ///< candidates x m, row-major: 1 / f
+  double step = 0.0;
+  FgnGridEvaluator evaluator;     ///< exact pass at the refined minimizer
+
+  explicit Impl(std::span<const double> freq)
+      : frequency(freq.begin(), freq.end()), evaluator(freq) {}
+
+  /// Lattice objective at candidate k for periodogram ordinates I:
+  /// Q_k = log(mean_j I_j / f_j) + mean_j log f_j. Only the first term
+  /// touches the data — m multiply-adds against the cached row.
+  double lattice_q(std::size_t k, std::span<const double> ordinate) const {
+    const std::size_t m = frequency.size();
+    const double* row = inv_f.data() + k * m;
+    double ratio = 0.0;
+    for (std::size_t j = 0; j < m; ++j) ratio += ordinate[j] * row[j];
+    const double dm = static_cast<double>(m);
+    return std::log(ratio / dm) + log_f_sum[k] / dm;
+  }
+};
+
+WhittleRefitter::WhittleRefitter(std::span<const double> frequency,
+                                 double h_step)
+    : impl_(std::make_unique<Impl>(frequency)) {
+  if (frequency.size() < 8)
+    throw std::invalid_argument("WhittleRefitter: too few ordinates");
+  for (double lambda : frequency)
+    if (!(lambda > 0.0 && lambda <= M_PI))
+      throw std::invalid_argument(
+          "WhittleRefitter: frequencies must be in (0, pi]");
+  if (!(h_step > 0.0 && h_step <= 0.05))
+    throw std::invalid_argument("WhittleRefitter: h_step in (0, 0.05]");
+
+  const std::size_t m = frequency.size();
+  const auto count = static_cast<std::size_t>(
+                         (kFgnThetaMax - kFgnThetaMin) / h_step) +
+                     2;  // lattice covers [theta_min, theta_max] inclusive
+  impl_->step = h_step;
+  impl_->h.reserve(count);
+  impl_->log_f_sum.reserve(count);
+  impl_->inv_f.reserve(count * m);
+  for (std::size_t k = 0; k < count; ++k) {
+    const double hk =
+        std::min(kFgnThetaMin + static_cast<double>(k) * h_step,
+                 kFgnThetaMax);
+    impl_->h.push_back(hk);
+    impl_->evaluator.prepare(hk);
+    double log_sum = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      const double f = impl_->evaluator.at(j);
+      log_sum += std::log(f);
+      impl_->inv_f.push_back(1.0 / f);
+    }
+    impl_->log_f_sum.push_back(log_sum);
+    if (hk >= kFgnThetaMax) break;
+  }
+}
+
+WhittleRefitter::~WhittleRefitter() = default;
+WhittleRefitter::WhittleRefitter(WhittleRefitter&&) noexcept = default;
+WhittleRefitter& WhittleRefitter::operator=(WhittleRefitter&&) noexcept =
+    default;
+
+std::size_t WhittleRefitter::candidates() const { return impl_->h.size(); }
+
+WhittleResult WhittleRefitter::fit(const fft::Periodogram& pg,
+                                   const WhittleOptions& options) {
+  Impl& im = *impl_;
+  if (pg.frequency != im.frequency)
+    throw std::invalid_argument(
+        "WhittleRefitter: periodogram frequency grid does not match the "
+        "grid the tables were built for");
+  const std::span<const double> ordinate(pg.ordinate);
+  const std::size_t count = im.h.size();
+
+  // Lattice objective, memoized per index for this fit.
+  std::vector<double> q(count, HUGE_VAL);
+  std::vector<char> have(count, 0);
+  const auto q_at = [&](std::size_t k) {
+    if (!have[k]) {
+      q[k] = im.lattice_q(k, ordinate);
+      have[k] = 1;
+    }
+    return q[k];
+  };
+  const auto argmin_range = [&](std::size_t lo, std::size_t hi) {  // [lo, hi)
+    std::size_t best = lo;
+    for (std::size_t k = lo; k < hi; ++k)
+      if (q_at(k) < q[best]) best = k;
+    return best;
+  };
+
+  // Scan the lattice for the winning candidate. A hint restricts the
+  // scan to its neighborhood first; a winner on the neighborhood edge
+  // means the minimum moved out from under the hint, so rescan
+  // everything. Same winner as a cold scan either way — the hint only
+  // changes how much of the lattice gets touched.
+  std::size_t best;
+  if (options.hurst_hint && *options.hurst_hint > kFgnThetaMin &&
+      *options.hurst_hint < kFgnThetaMax) {
+    const auto k0 = std::min(
+        count - 1,
+        static_cast<std::size_t>(
+            std::llround((*options.hurst_hint - kFgnThetaMin) / im.step)));
+    const std::size_t w = static_cast<std::size_t>(0.05 / im.step) + 1;
+    const std::size_t lo = k0 > w ? k0 - w : 0;
+    const std::size_t hi = std::min(count, k0 + w + 1);
+    best = argmin_range(lo, hi);
+    const bool escaped =
+        (best == lo && lo > 0) || (best + 1 == hi && hi < count);
+    if (escaped) best = argmin_range(0, count);
+  } else {
+    best = argmin_range(0, count);
+  }
+
+  // Refine between lattice points — table values only, no density
+  // work. A parabola through the winner and its neighbors gives the
+  // first vertex; its residual bias is the objective's cubic term
+  // (O(step^2), which at realistic m is the largest error in the whole
+  // refit), so a cubic through FOUR lattice points — the winner's
+  // triple plus one more on the side the vertex leans toward — absorbs
+  // Q''' exactly and leaves O(step^3). The cubic's curvature at the
+  // minimizer feeds the observed-information stderr, as the
+  // golden-section path measures it by finite differences at a
+  // comparable step. Near the lattice edges (including the clamped
+  // last point, where spacing is irregular) the refit falls back to
+  // the general-spacing parabola, then to the raw lattice point.
+  double t_hat = im.h[best];
+  double second = 0.0;
+  if (count >= 4) {
+    // Winner at a lattice edge (H pegged at the fit floor/ceiling):
+    // refine through the edge's three-point stencil anyway — a minimum
+    // a fraction of a step inside the boundary (the golden-section
+    // path finds it; a refit must too) is still captured, and a truly
+    // monotone objective clamps the vertex back to the edge.
+    const std::size_t c = std::min(std::max<std::size_t>(best, 1), count - 2);
+    const double x0 = im.h[c - 1], x1 = im.h[c], x2 = im.h[c + 1];
+    const double y0 = q_at(c - 1), y1 = q_at(c), y2 = q_at(c + 1);
+    const double a = y0 / ((x0 - x1) * (x0 - x2)) +
+                     y1 / ((x1 - x0) * (x1 - x2)) +
+                     y2 / ((x2 - x0) * (x2 - x1));
+    if (a > 0.0) {
+      const double num =
+          (x1 - x0) * (x1 - x0) * (y1 - y2) -
+          (x1 - x2) * (x1 - x2) * (y1 - y0);
+      const double den =
+          (x1 - x0) * (y1 - y2) - (x1 - x2) * (y1 - y0);
+      if (den != 0.0) {
+        t_hat = x1 - 0.5 * num / den;
+        if (t_hat < x0) t_hat = x0;
+        if (t_hat > x2) t_hat = x2;
+      }
+      second = 2.0 * a;
+    }
+
+    // Cubic upgrade: base the 4-point stencil at `lo` so the vertex
+    // side gets the extra point, clamped so all four points exist even
+    // for an edge winner. Requires uniform spacing (true away from the
+    // clamped last lattice point, whose stride can be shorter).
+    std::size_t lo = t_hat >= x1 ? c - 1 : c >= 2 ? c - 2 : 0;
+    lo = std::min(lo, count - 4);
+    if (lo + 3 < count) {
+      const double step = im.step;
+      const bool uniform =
+          std::abs((im.h[lo + 3] - im.h[lo]) - 3.0 * step) < 1e-12;
+      if (uniform) {
+        const double z0 = q_at(lo), z1 = q_at(lo + 1), z2 = q_at(lo + 2),
+                     z3 = q_at(lo + 3);
+        const double d1 = z1 - z0;
+        const double d2 = z2 - 2.0 * z1 + z0;
+        const double d3 = z3 - 3.0 * z2 + 3.0 * z1 - z0;
+        // dQ/du of the Newton-forward cubic, u = (t - h[lo]) / step:
+        //   alpha u^2 + beta u + gamma.
+        const double alpha = 0.5 * d3;
+        const double beta = d2 - d3;
+        const double gamma = d1 - 0.5 * d2 + d3 / 3.0;
+        double u = -1.0;
+        double curve_u = 0.0;  // d2Q/du2 at the root
+        if (std::abs(alpha) > 1e-300) {
+          const double disc = beta * beta - 4.0 * alpha * gamma;
+          if (disc >= 0.0) {
+            const double r = std::sqrt(disc);
+            // The root with positive second derivative is the minimum.
+            const double u_a = (-beta + r) / (2.0 * alpha);
+            const double u_b = (-beta - r) / (2.0 * alpha);
+            u = 2.0 * alpha * u_a + beta > 0.0 ? u_a : u_b;
+            curve_u = 2.0 * alpha * u + beta;
+          }
+        } else if (beta > 0.0) {
+          u = -gamma / beta;  // cubic degenerated to a parabola
+          curve_u = beta;
+        }
+        // Accept only an interior minimum near the lattice winner;
+        // otherwise the parabola result stands.
+        const double u_best = (im.h[best] - im.h[lo]) / step;
+        if (u >= 0.0 && u <= 3.0 && std::abs(u - u_best) <= 1.5 &&
+            curve_u > 0.0) {
+          t_hat = im.h[lo] + u * step;
+          second = curve_u / (step * step);
+        }
+      }
+    }
+  }
+
+  // One exact density pass at the refined minimizer for the reported
+  // scale and objective — the only non-table work in the whole refit.
+  const Objective at_min = whittle_objective(pg, im.evaluator, t_hat);
+
+  WhittleResult r;
+  r.hurst = t_hat;
+  r.scale = at_min.scale;
+  r.objective = at_min.q;
+  const double m = static_cast<double>(im.frequency.size());
+  r.stderr_hurst = second > 0.0 ? std::sqrt(2.0 / (m * second)) : 0.0;
+  r.ci_low = r.hurst - 1.96 * r.stderr_hurst;
+  r.ci_high = r.hurst + 1.96 * r.stderr_hurst;
+  return r;
 }
 
 WhittleResult whittle_farima_from_periodogram(const fft::Periodogram& pg) {

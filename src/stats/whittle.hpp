@@ -8,6 +8,8 @@
 // fGn spectral density; the innovation scale is profiled out.
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -69,6 +71,58 @@ WhittleResult whittle_fgn_from_periodogram(const fft::Periodogram& pg,
 /// accuracy cross-checks and the before/after perf row in
 /// BENCH_perf.json.
 WhittleResult whittle_fgn_direct_from_periodogram(const fft::Periodogram& pg);
+
+/// Block-update Whittle refitter for a fixed periodogram frequency
+/// grid — the amortized fit behind the sliding-window analyzer.
+///
+/// whittle_fgn_from_periodogram rebuilds the fGn density interpolation
+/// grid for every candidate H of every call (~30 candidates through the
+/// golden-section refinement, ~50k pow-equivalents each), which is the
+/// right trade for one-shot fits but dominates a monitor that refits
+/// the same frequency grid every slide. A rolling window's grid never
+/// changes (the segment length is fixed), so this class evaluates the
+/// density ONCE per candidate at construction: an H lattice of spacing
+/// `h_step` over the full fit range, storing per candidate the
+/// log-density sum and the reciprocal density at every ordinate. A
+/// refit is then a lattice scan (m multiply-adds per candidate — the
+/// periodogram is the only thing that changed), a parabolic refinement
+/// between the winning candidate's neighbors, and one exact density
+/// pass at the refined H for the reported scale and objective:
+/// microseconds against the ~20-40 ms of a from-scratch fit.
+///
+/// Accuracy: the lattice-parabola minimizer lands within O(h_step^2) of
+/// the golden-section minimizer (itself resolved to ~1e-5); at the
+/// default spacing the observed difference is ~1e-5 in H — an order
+/// below the estimator's own standard error at any realistic m.
+/// `WhittleOptions::hurst_hint` restricts the scan to a neighborhood of
+/// the previous fit (the 3-point-bracket idea on the lattice), falling
+/// back to the full scan when the minimum escapes the neighborhood.
+class WhittleRefitter {
+ public:
+  /// Builds the density tables for `frequency` (a periodogram grid:
+  /// every lambda in (0, pi], at least 8 ordinates). Construction costs
+  /// one density-grid pass per lattice candidate (~0.4 s at the default
+  /// spacing) — pay it once, refit for the life of the stream.
+  explicit WhittleRefitter(std::span<const double> frequency,
+                           double h_step = 2e-3);
+  ~WhittleRefitter();
+  WhittleRefitter(WhittleRefitter&&) noexcept;
+  WhittleRefitter& operator=(WhittleRefitter&&) noexcept;
+
+  /// Fits H for a periodogram on the SAME frequency grid the refitter
+  /// was built for (throws std::invalid_argument otherwise — the tables
+  /// are grid-specific). All SegmentRing / SegmentRingCascade levels of
+  /// one analyzer share a grid, so one refitter serves them all.
+  WhittleResult fit(const fft::Periodogram& pg,
+                    const WhittleOptions& options = {});
+
+  /// Lattice candidates held (diagnostics / sizing).
+  std::size_t candidates() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 /// Unit-scale spectral density of fractional ARIMA(0, d, 0):
 ///   f(lambda; d) = |2 sin(lambda/2)|^{-2d} / (2 pi).

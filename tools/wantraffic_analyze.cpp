@@ -30,6 +30,17 @@
 // --shards contradicts --rows (the row pipeline has no sharded path)
 // and conn mode (connection closure order is not shard-invariant);
 // both combinations are rejected, as is --shards 0.
+//
+// --window W (pkt mode) switches to the incremental sliding-window
+// engine (src/stream/window_analyzer.hpp): one report row per --slide S
+// (default: per window) covering the trailing W seconds — count
+// moments, burst/lull, variance-time H, a warm-started Whittle H on a
+// rolling periodogram, optionally an aggregation sweep
+// (--sweep-levels) and a windowed Appendix-A verdict
+// (--poisson-interval I). --window-csv FILE writes the rows as a
+// figure CSV. The engine is columnar and single-stream by design, so
+// --window rejects --rows, --shards and the whole-stream-only
+// --filtered/--vt-csv outputs with reasoned messages.
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -44,6 +55,7 @@
 #include "src/stream/csv_chunk.hpp"
 #include "src/stream/pipeline.hpp"
 #include "src/stream/shard.hpp"
+#include "src/stream/window_analyzer.hpp"
 #include "src/trace/binary_io.hpp"
 #include "src/trace/burst.hpp"
 #include "src/trace/csv_io.hpp"
@@ -65,6 +77,11 @@ int usage() {
                "[--stream] [--rows] [--chunk N]\n"
                "                         [--shards N (implies --stream)] "
                "[--threads N]\n"
+               "                         [--window SEC [--slide SEC] "
+               "[--segment-bins N]\n"
+               "                          [--sweep-levels N] "
+               "[--poisson-interval SEC]\n"
+               "                          [--window-csv FILE]]\n"
                "  either mode: [--ingest-format pcap|lbl-conn|lbl-pkt] "
                "[--lenient]\n");
   return 2;
@@ -174,6 +191,71 @@ stream::PipelineResult analyze(stream::PacketChunkSource& src,
   return stream::analyze_stream(src, opt);
 }
 
+// Drains the source through the sliding-window engine and prints one
+// report row per slide (plus the optional figure CSV).
+int run_windowed(stream::PacketChunkSource& src,
+                 const stream::WindowedOptions& opt,
+                 const tools::ArgParser& args) {
+  const auto reports = stream::analyze_windowed(src, opt);
+  const stream::WindowGeometry geometry = stream::window_geometry(opt);
+  std::printf("windowed analysis: %zu reports, window %zu bins, slide %zu "
+              "bins, %zu segments/window of %zu bins\n",
+              reports.size(), geometry.window_bins, geometry.slide_bins,
+              geometry.segments_per_window, geometry.segment_bins);
+  for (const stream::WindowReport& r : reports)
+    std::printf("%s\n", stream::to_string(r).c_str());
+  if (const std::string* out = args.value("--window-csv")) {
+    std::ofstream os(*out);
+    if (!os) {
+      std::fprintf(stderr, "cannot open %s for write\n", out->c_str());
+      return 1;
+    }
+    os << stream::window_csv_header();
+    for (const stream::WindowReport& r : reports)
+      os << stream::window_csv_row(r);
+    std::printf("wrote windowed CSV to %s\n", out->c_str());
+  }
+  return reports.empty() ? 1 : 0;
+}
+
+// --window* flags folded into WindowedOptions; rejects the flag
+// combinations the windowed engine cannot honor.
+std::optional<stream::WindowedOptions> windowed_options(
+    const tools::ArgParser& args, const stream::PipelineOptions& pipeline) {
+  if (!args.given("--window")) {
+    for (const char* dep : {"--slide", "--segment-bins", "--sweep-levels",
+                            "--poisson-interval", "--window-csv"})
+      if (args.given(dep))
+        throw std::invalid_argument(std::string(dep) +
+                                    " only applies to the sliding-window "
+                                    "engine: pass --window SECONDS");
+    return std::nullopt;
+  }
+  args.reject_together("--window", "--rows",
+                       "the sliding-window engine is columnar-only");
+  args.reject_together("--window", "--shards",
+                       "the sliding-window engine emits one time-ordered "
+                       "report stream; shard-merge of windowed state is a "
+                       "library-level operation");
+  args.reject_together("--window", "--filtered",
+                       "the windowed engine has no streaming outlier pass; "
+                       "use --protocol to restrict the stream");
+  args.reject_together("--window", "--vt-csv",
+                       "--vt-csv is the whole-stream variance-time figure; "
+                       "use --window-csv for per-window rows");
+  stream::WindowedOptions opt;
+  opt.bin = pipeline.bin;
+  opt.protocol = pipeline.protocol;
+  opt.orig_data_only = pipeline.orig_data_only;
+  opt.window = args.number("--window", 0.0);
+  opt.slide = args.number("--slide", 0.0);
+  opt.segment_bins = args.count("--segment-bins", 0);
+  opt.sweep_levels = args.count("--sweep-levels", 0);
+  opt.poisson_interval = args.number("--poisson-interval", 0.0);
+  stream::window_geometry(opt);  // validate before any file is opened
+  return opt;
+}
+
 int run_pkt(const std::string& path, const tools::ArgParser& args) {
   args.reject_together("--rows", "--shards",
                        "the retained row pipeline has no sharded path");
@@ -193,11 +275,13 @@ int run_pkt(const std::string& path, const tools::ArgParser& args) {
     opt.remove_outliers = true;
   }
   opt.chunk_size = args.count("--chunk", opt.chunk_size, 1);
+  const auto windowed = windowed_options(args, opt);
 
   if (const auto format = ingest_format(args)) {
     ingest::IngestOptions iopt = ingest_options(args);
     iopt.shards = shards;  // shard flow reconstruction too
     const auto src = ingest::open_packet_source(path, *format, iopt);
+    if (windowed) return run_windowed(*src, *windowed, args);
     stream::PipelineResult result;
     if (args.has("--stream") || shards > 1) {
       result = analyze(*src, opt, args, shards);
@@ -209,6 +293,15 @@ int run_pkt(const std::string& path, const tools::ArgParser& args) {
                 src->info().name.c_str());
     print_ingest_ledger(src->stats());
     return report_pkt(result, args);
+  }
+
+  if (windowed) {
+    if (args.has("--binary")) {
+      stream::BinaryChunkSource src(path, opt.chunk_size);
+      return run_windowed(src, *windowed, args);
+    }
+    stream::CsvChunkSource src(path, opt.chunk_size);
+    return run_windowed(src, *windowed, args);
   }
 
   if (args.has("--stream") || shards > 1) {
@@ -250,6 +343,12 @@ int main(int argc, char** argv) {
   args.add_option("--chunk");
   args.add_option("--shards");
   args.add_option("--threads");
+  args.add_option("--window");
+  args.add_option("--slide");
+  args.add_option("--segment-bins");
+  args.add_option("--sweep-levels");
+  args.add_option("--poisson-interval");
+  args.add_option("--window-csv");
 
   std::string error;
   if (!args.parse(&error)) {
