@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <functional>
 #include <sstream>
@@ -68,6 +69,28 @@ inline double min_time_ms(const std::function<void()>& fn, int reps = 3) {
     const auto t1 = std::chrono::steady_clock::now();
     const double ms =
         std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+/// Best-of-`reps` process CPU time of fn, in milliseconds. For
+/// single-threaded A/B legs on shared hosts: wall time charges whatever
+/// the hypervisor steals mid-rep to whichever leg happened to be
+/// running, which can swing an A/B ratio by double digits; CPU time
+/// counts only the cycles the process actually executed. Never use it
+/// for multi-threaded work — the clock sums across threads, so a
+/// perfect 4-way parallel run "takes" the same CPU time as its serial
+/// leg.
+inline double min_cpu_time_ms(const std::function<void()>& fn, int reps = 3) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    timespec t0{}, t1{};
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &t0);
+    fn();
+    clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &t1);
+    const double ms = static_cast<double>(t1.tv_sec - t0.tv_sec) * 1e3 +
+                      static_cast<double>(t1.tv_nsec - t0.tv_nsec) * 1e-6;
     if (ms < best) best = ms;
   }
   return best;

@@ -1,15 +1,32 @@
-// bench_perf_ingest — the real-trace front door under load: pcap bytes
-// through the streaming reader + flow table, measuring MB/s and peak
-// RSS growth.
+// bench_perf_ingest — the real-trace front door under load, and the
+// ISSUE-9 fast-path ledger: every layer of the zero-copy ingest path is
+// timed against the retained baseline it replaced.
 //
-// The bench writes its own synthetic capture (raw-IP linktype, a fixed
-// population of interleaved TCP flows, deterministic from a seed) at
-// two sizes, streams each through PcapPacketSource, and asserts the
-// ISSUE-5 acceptance criterion: peak RSS is set by the chunk size and
-// the open-flow population — which the two sizes share — not by the
-// capture length. The verdict lands in the printed output and in the
-// rss_bounded field of BENCH_perf.json. `--smoke` shrinks both
-// captures to CI size.
+// The bench writes its own synthetic captures (raw-IP pcap and lbl-pkt
+// ASCII, a fixed population of interleaved TCP flows, deterministic) and
+// emits six rows into BENCH_perf.json:
+//
+//   * ingest_pcap_stream        — MB/s + the ISSUE-5 RSS criterion: peak
+//     RSS growth is set by chunk size and open-flow population, not by
+//     capture length (rss_bounded).
+//   * pcap_reader_mmap_vs_ifstream — raw record drain, MmapPcapReader
+//     (mmap + next_batch) against the ifstream PcapReader.
+//   * flow_table_flat_vs_node   — the open-addressing FlowTable against
+//     NodeFlowTable (unordered_map + std::list) on pre-decoded packets.
+//   * pcap_decode_columnar_vs_row — direct decode into PacketColumns
+//     against the row-chunk source + transpose.
+//   * ingest_e2e_fastpath_vs_pr5 — THE GATE: pcap -> analyze, fast path
+//     (mmap + flat table + columnar) vs the PR-5 configuration
+//     (ifstream + node table + row pipeline). Full-size runs must show
+//     >= 3x with byte-identical results; --smoke records the ratio but
+//     only enforces identity (CI captures are too small to time).
+//   * ingest_lbl_pkt_ascii      — ITA ASCII parse throughput on the
+//     std::from_chars tokenizer.
+//
+// In every A/B row serial_ms is the baseline and parallel_ms the fast
+// path, so `speedup` reads as "fast path is Nx the baseline"; all rows
+// are single-threaded. Exit is nonzero when any identity check, the RSS
+// bound, or the (full-size) 3x gate fails.
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -19,7 +36,9 @@
 
 #include "bench/bench_harness.hpp"
 #include "src/ingest/ingest.hpp"
+#include "src/ingest/onepass.hpp"
 #include "src/ingest/sources.hpp"
+#include "src/stream/pipeline.hpp"
 #include "src/trace/records.hpp"
 
 using namespace wan;
@@ -131,6 +150,154 @@ std::uint64_t write_capture(const std::string& path, std::size_t packets,
   return total;
 }
 
+/// Writes the same flow mix as lbl-pkt ASCII lines (the sanitize-tcp
+/// format): timestamp src dst sport dport data_bytes. Feeds the
+/// std::from_chars parse-throughput row.
+std::uint64_t write_lbl_pkt(const std::string& path, std::size_t packets,
+                            std::size_t flows) {
+  std::ofstream os(path, std::ios::binary);
+  std::uint64_t total = 0;
+  char line[96];
+  for (std::size_t p = 0; p < packets; ++p) {
+    const std::size_t f = p % flows;
+    const int n = std::snprintf(
+        line, sizeof line, "%.6f %zu %zu %zu %u %u\n",
+        static_cast<double>(p) * 1e-4, 1 + f, 1000 + f, 1024 + f % 50000,
+        f % 2 == 0 ? 80u : 23u, p / flows == 0 ? 0u : 512u);
+    os.write(line, n);
+    total += static_cast<std::uint64_t>(n);
+  }
+  return total;
+}
+
+/// FNV-1a over 64-bit words: order-sensitive output checksums so the
+/// A/B identity checks catch any divergence, not just count drift.
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ull;
+  void mix(std::uint64_t v) {
+    h = (h ^ v) * 1099511628211ull;
+  }
+  void mix(double d) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof bits);
+    mix(bits);
+  }
+  void mix(const trace::PacketRecord& r) {
+    mix(r.time);
+    mix((static_cast<std::uint64_t>(r.conn_id) << 32) |
+        (static_cast<std::uint64_t>(r.protocol) << 16) |
+        (static_cast<std::uint64_t>(r.from_originator) << 15) |
+        r.payload_bytes);
+  }
+  void mix(const trace::ConnRecord& c) {
+    mix(c.start);
+    mix(c.duration);
+    mix((static_cast<std::uint64_t>(c.src_host) << 32) | c.dst_host);
+    mix(c.bytes_orig);
+    mix(c.bytes_resp);
+    mix(c.session_id ^ static_cast<std::uint64_t>(c.protocol));
+  }
+};
+
+struct DrainSum {
+  std::uint64_t packets = 0;
+  std::uint64_t checksum = 0;
+  bool operator==(const DrainSum& o) const {
+    return packets == o.packets && checksum == o.checksum;
+  }
+};
+
+/// Raw record drain through the ifstream reader: next() per record.
+DrainSum drain_ifstream(const std::string& path) {
+  ingest::PcapReader reader(path, ingest::ParseMode::kStrict);
+  ingest::RawPacket pkt;
+  Fnv f;
+  DrainSum s;
+  while (reader.next(pkt)) {
+    ++s.packets;
+    f.mix(pkt.time);
+    f.mix((static_cast<std::uint64_t>(pkt.src_ip) << 32) | pkt.dst_ip);
+    f.mix((static_cast<std::uint64_t>(pkt.src_port) << 48) |
+          (static_cast<std::uint64_t>(pkt.dst_port) << 32) |
+          (static_cast<std::uint64_t>(pkt.tcp_flags) << 24) |
+          pkt.payload_bytes);
+  }
+  s.checksum = f.h;
+  return s;
+}
+
+/// The same drain through the mmap reader's batch interface.
+DrainSum drain_mmap(const std::string& path) {
+  ingest::MmapPcapReader reader(path, ingest::ParseMode::kStrict);
+  std::vector<ingest::RawPacket> batch;
+  Fnv f;
+  DrainSum s;
+  while (reader.next_batch(batch, 4096) > 0) {
+    for (const ingest::RawPacket& pkt : batch) {
+      ++s.packets;
+      f.mix(pkt.time);
+      f.mix((static_cast<std::uint64_t>(pkt.src_ip) << 32) | pkt.dst_ip);
+      f.mix((static_cast<std::uint64_t>(pkt.src_port) << 48) |
+            (static_cast<std::uint64_t>(pkt.dst_port) << 32) |
+            (static_cast<std::uint64_t>(pkt.tcp_flags) << 24) |
+            pkt.payload_bytes);
+    }
+    batch.clear();
+  }
+  s.checksum = f.h;
+  return s;
+}
+
+/// Folds pre-decoded packets through a flow table and checksums every
+/// emitted PacketRecord and closed ConnRecord — the table's complete
+/// observable output, so flat == node here means the decisions agree.
+template <typename Table>
+DrainSum fold_table(const std::vector<ingest::RawPacket>& pkts) {
+  Table table{ingest::FlowTableConfig{}};
+  std::vector<trace::ConnRecord> conns;
+  Fnv f;
+  DrainSum s;
+  for (const ingest::RawPacket& pkt : pkts) {
+    f.mix(table.add(pkt));
+    ++s.packets;
+  }
+  table.flush();
+  table.take_closed(conns);
+  for (const trace::ConnRecord& c : conns) f.mix(c);
+  f.mix(static_cast<std::uint64_t>(conns.size()));
+  s.checksum = f.h;
+  return s;
+}
+
+/// Row-source drain: PacketRecord chunks off the mmap reader + flat
+/// table (the pre-columnar emission path, reader and table held equal).
+DrainSum drain_rows(const std::string& path) {
+  ingest::MmapPcapPacketSource src(path, ingest::ParseMode::kStrict);
+  std::vector<trace::PacketRecord> chunk;
+  Fnv f;
+  DrainSum s;
+  while (src.next(chunk)) {
+    for (const trace::PacketRecord& r : chunk) f.mix(r);
+    s.packets += chunk.size();
+  }
+  s.checksum = f.h;
+  return s;
+}
+
+/// Columnar drain: the same records decoded straight into SoA columns.
+DrainSum drain_columns(const std::string& path) {
+  ingest::PcapColumnSource src(path, ingest::ParseMode::kStrict);
+  stream::PacketColumns chunk;
+  Fnv f;
+  DrainSum s;
+  while (src.next(chunk)) {
+    for (std::size_t i = 0; i < chunk.size(); ++i) f.mix(chunk.row(i));
+    s.packets += chunk.size();
+  }
+  s.checksum = f.h;
+  return s;
+}
+
 struct IngestRun {
   double ms = 0.0;
   std::uint64_t packets = 0;
@@ -158,6 +325,32 @@ IngestRun run_ingest(const std::string& path) {
   return r;
 }
 
+/// One baseline-vs-fast row: serial_ms is the baseline, parallel_ms the
+/// fast path, both single-threaded, identity from the caller's check.
+bench::BenchResult ab_row(const std::string& op, double items,
+                          const std::string& unit, double baseline_ms,
+                          double fast_ms, bool identical) {
+  bench::BenchResult r;
+  r.op = op;
+  r.threads = 1;
+  r.items = items;
+  r.unit = unit;
+  r.serial_ms = baseline_ms;
+  r.parallel_ms = fast_ms;
+  r.speedup = fast_ms > 0.0 ? baseline_ms / fast_ms : 1.0;
+  const double best = fast_ms < baseline_ms ? fast_ms : baseline_ms;
+  r.throughput = best > 0.0 ? items / (best / 1000.0) : 0.0;
+  r.identical = identical;
+  return r;
+}
+
+bool same_result(const stream::PipelineResult& a,
+                 const stream::PipelineResult& b) {
+  return a.packets == b.packets && a.counts == b.counts &&
+         stream::vt_csv(a) == stream::vt_csv(b) &&
+         a.info.name == b.info.name;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -165,19 +358,23 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
   bench::Harness harness(argc, argv);
+  const char* tag = smoke ? "smoke" : "1m_pkts";
+  const int reps = smoke ? 1 : 2;
 
   const std::size_t kFlows = 256;  // constant across sizes, by design
   const std::size_t small_n = smoke ? 5000 : 100000;
   const std::size_t large_n = smoke ? 50000 : 1000000;
   const std::string small_path = "bench_ingest_small.pcap";
   const std::string large_path = "bench_ingest_large.pcap";
+  const std::string ascii_path = "bench_ingest_ascii.lbl";
   const std::uint64_t small_bytes = write_capture(small_path, small_n, kFlows);
   const std::uint64_t large_bytes = write_capture(large_path, large_n, kFlows);
+  const double large_mb = static_cast<double>(large_bytes) / (1024.0 * 1024.0);
 
+  // --- Row 1: streamed ingest MB/s + the bounded-RSS criterion.
+  // Runs first, on a clean heap, before the A/B phases touch memory.
   const IngestRun small = run_ingest(small_path);
   const IngestRun large = run_ingest(large_path);
-  std::remove(small_path.c_str());
-  std::remove(large_path.c_str());
 
   const bool clean = small.packets == small_n && large.packets == large_n &&
                      small.structural_errors == 0 &&
@@ -191,35 +388,176 @@ int main(int argc, char** argv) {
       rss_measured &&
       large.peak_growth_kb < 2 * small.peak_growth_kb + 16 * 1024;
 
-  const double mb = static_cast<double>(large_bytes) / (1024.0 * 1024.0);
-  const double mb_per_s = large.ms > 0.0 ? mb / (large.ms / 1000.0) : 0.0;
+  const double mb_per_s =
+      large.ms > 0.0 ? large_mb / (large.ms / 1000.0) : 0.0;
   std::printf(
       "\npcap ingest: %.1f MB in %.1f ms (%.1f MB/s, %llu packets)\n"
       "peak RSS growth: %.1f MB capture %ld kB, %.1f MB capture %ld kB\n"
       "rss_bounded (peak set by chunk size + open flows, not capture "
       "length): %s\n\n",
-      mb, large.ms, mb_per_s,
+      large_mb, large.ms, mb_per_s,
       static_cast<unsigned long long>(large.packets),
       static_cast<double>(small_bytes) / (1024.0 * 1024.0),
-      small.peak_growth_kb, mb, large.peak_growth_kb,
+      small.peak_growth_kb, large_mb, large.peak_growth_kb,
       rss_bounded ? "PASS" : "FAIL");
 
-  bench::BenchResult r;
-  r.op = std::string("ingest_pcap_stream/") + (smoke ? "smoke" : "1m_pkts");
-  r.threads = 1;
-  r.items = mb;
-  r.unit = "MB";
-  r.serial_ms = large.ms;
-  r.parallel_ms = large.ms;
-  r.speedup = 1.0;
-  r.throughput = mb_per_s;
-  r.identical = clean;
-  r.extra = {
-      {"small_peak_rss_kb", std::to_string(small.peak_growth_kb)},
-      {"large_peak_rss_kb", std::to_string(large.peak_growth_kb)},
-      {"rss_bounded", rss_bounded ? "true" : "false"},
-  };
-  harness.add(r);
+  {
+    bench::BenchResult r;
+    r.op = std::string("ingest_pcap_stream/") + tag;
+    r.threads = 1;
+    r.items = large_mb;
+    r.unit = "MB";
+    r.serial_ms = large.ms;
+    r.parallel_ms = large.ms;
+    r.speedup = 1.0;
+    r.throughput = mb_per_s;
+    r.identical = clean;
+    r.extra = {
+        {"small_peak_rss_kb", std::to_string(small.peak_growth_kb)},
+        {"large_peak_rss_kb", std::to_string(large.peak_growth_kb)},
+        {"rss_bounded", rss_bounded ? "true" : "false"},
+    };
+    harness.add(r);
+  }
 
-  return clean && rss_bounded ? 0 : 1;
+  // --- Row 2: raw record drain, mmap reader vs ifstream reader.
+  DrainSum rd_base, rd_fast;
+  const double rd_base_ms = bench::min_time_ms(
+      [&] { rd_base = drain_ifstream(large_path); }, reps);
+  const double rd_fast_ms =
+      bench::min_time_ms([&] { rd_fast = drain_mmap(large_path); }, reps);
+  const bool rd_ok = rd_base == rd_fast && rd_base.packets == large_n;
+  harness.add(ab_row(std::string("pcap_reader_mmap_vs_ifstream/") + tag,
+                     large_mb, "MB", rd_base_ms, rd_fast_ms, rd_ok));
+
+  // --- Row 3: flow table fold, flat open-addressing vs node-based, on
+  // pre-decoded packets so only the table differs.
+  std::vector<ingest::RawPacket> decoded;
+  decoded.reserve(large_n);
+  {
+    ingest::MmapPcapReader reader(large_path, ingest::ParseMode::kStrict);
+    reader.next_batch(decoded, large_n + 1);
+  }
+  DrainSum ft_node, ft_flat;
+  const double ft_node_ms = bench::min_time_ms(
+      [&] { ft_node = fold_table<ingest::NodeFlowTable>(decoded); }, reps);
+  const double ft_flat_ms = bench::min_time_ms(
+      [&] { ft_flat = fold_table<ingest::FlowTable>(decoded); }, reps);
+  const bool ft_ok = ft_node == ft_flat && ft_flat.packets == large_n;
+  harness.add(ab_row(std::string("flow_table_flat_vs_node/") + tag,
+                     static_cast<double>(large_n), "pkts", ft_node_ms,
+                     ft_flat_ms, ft_ok));
+  decoded.clear();
+  decoded.shrink_to_fit();
+
+  // --- Row 4: emission layout, direct columnar decode vs row chunks
+  // (same mmap reader and flat table on both sides).
+  DrainSum dc_rows, dc_cols;
+  const double dc_rows_ms =
+      bench::min_time_ms([&] { dc_rows = drain_rows(large_path); }, reps);
+  const double dc_cols_ms =
+      bench::min_time_ms([&] { dc_cols = drain_columns(large_path); }, reps);
+  const bool dc_ok = dc_rows == dc_cols && dc_cols.packets == large_n;
+  harness.add(ab_row(std::string("pcap_decode_columnar_vs_row/") + tag,
+                     large_mb, "MB", dc_rows_ms, dc_cols_ms, dc_ok));
+
+  // --- Row 5: THE GATE — pcap -> count-process analysis end to end.
+  // Baseline is the PR-5 configuration exactly: ifstream reader + node
+  // flow table + per-record row pipeline. Fast is the full fast path:
+  // mmap + flat table + deferred-prescan single-pass columnar analysis
+  // (analyze_pcap_onepass — one decode pass when the capture is in
+  // order, as this one is). Both closures include source construction;
+  // for the baseline that includes its prescan — the real front-door
+  // cost either way.
+  stream::PipelineOptions popt;  // 0.1 s bins over the 100 us spacing
+  stream::PipelineResult e2e_base, e2e_fast;
+  // Gate methodology: both legs are single-threaded, so they are timed
+  // with the process-CPU clock — on a shared host, wall time charges
+  // hypervisor steal to whichever leg was running when it hit, which
+  // swings the ratio by more than the gate's whole margin. The legs
+  // also alternate rep by rep (base, fast, base, fast, ...) instead of
+  // timing one leg's reps back to back, so residual drift (frequency,
+  // cache pressure) lands on both legs alike.
+  double e2e_base_ms = 0.0, e2e_fast_ms = 0.0;
+  const int e2e_reps = smoke ? 1 : 5;
+  for (int rep = 0; rep < e2e_reps; ++rep) {
+    const double base_ms = bench::min_cpu_time_ms(
+        [&] {
+          ingest::NodePcapPacketSource src(large_path,
+                                           ingest::ParseMode::kStrict);
+          e2e_base = stream::analyze_stream_rows(src, popt);
+        },
+        1);
+    const double fast_ms = bench::min_cpu_time_ms(
+        [&] {
+          ingest::PcapColumnSource src(
+              large_path, ingest::ParseMode::kStrict, {},
+              stream::kDefaultChunkSize, ingest::Prescan::kDeferred);
+          e2e_fast = ingest::analyze_pcap_onepass(src, popt);
+        },
+        1);
+    if (rep == 0 || base_ms < e2e_base_ms) e2e_base_ms = base_ms;
+    if (rep == 0 || fast_ms < e2e_fast_ms) e2e_fast_ms = fast_ms;
+  }
+  const bool e2e_identical = same_result(e2e_base, e2e_fast) &&
+                             e2e_fast.packets == large_n;
+  const double e2e_speedup =
+      e2e_fast_ms > 0.0 ? e2e_base_ms / e2e_fast_ms : 1.0;
+  // Smoke captures are milliseconds long — the ratio there is timing
+  // noise, so CI enforces identity only; full runs enforce the 3x.
+  const bool gate_ok = e2e_identical && (smoke || e2e_speedup >= 3.0);
+  {
+    bench::BenchResult r =
+        ab_row(std::string("ingest_e2e_fastpath_vs_pr5/") + tag, large_mb,
+               "MB", e2e_base_ms, e2e_fast_ms, e2e_identical);
+    r.extra = {
+        {"gate_min_speedup", "3.0"},
+        {"gate_enforced", smoke ? "false" : "true"},
+        {"gate_ok", gate_ok ? "true" : "false"},
+        {"clock", "\"process_cpu\""},
+    };
+    harness.add(r);
+  }
+  std::printf(
+      "\ne2e gate: PR-5 baseline %.1f ms, fast path %.1f ms -> %.2fx "
+      "(need >= 3x%s), identical %s -> %s\n\n",
+      e2e_base_ms, e2e_fast_ms, e2e_speedup,
+      smoke ? ", not enforced in smoke" : "",
+      e2e_identical ? "yes" : "NO", gate_ok ? "PASS" : "FAIL");
+
+  // --- Row 6: ITA ASCII parse throughput (std::from_chars tokenizer).
+  const std::uint64_t ascii_bytes =
+      write_lbl_pkt(ascii_path, large_n, kFlows);
+  const double ascii_mb = static_cast<double>(ascii_bytes) / (1024.0 * 1024.0);
+  std::uint64_t ascii_packets = 0;
+  const double ascii_ms = bench::min_time_ms(
+      [&] {
+        ingest::LblPktReader reader(ascii_path, ingest::ParseMode::kStrict);
+        ingest::RawPacket pkt;
+        std::uint64_t n = 0;
+        while (reader.next(pkt)) ++n;
+        ascii_packets = n;
+      },
+      reps);
+  const bool ascii_ok = ascii_packets == large_n;
+  {
+    bench::BenchResult r;
+    r.op = std::string("ingest_lbl_pkt_ascii/") + tag;
+    r.threads = 1;
+    r.items = ascii_mb;
+    r.unit = "MB";
+    r.serial_ms = ascii_ms;
+    r.parallel_ms = ascii_ms;
+    r.speedup = 1.0;
+    r.throughput = ascii_ms > 0.0 ? ascii_mb / (ascii_ms / 1000.0) : 0.0;
+    r.identical = ascii_ok;
+    harness.add(r);
+  }
+
+  std::remove(small_path.c_str());
+  std::remove(large_path.c_str());
+  std::remove(ascii_path.c_str());
+
+  const bool all_identical = clean && rd_ok && ft_ok && dc_ok && ascii_ok;
+  return all_identical && rss_bounded && gate_ok ? 0 : 1;
 }

@@ -16,23 +16,8 @@ std::uint64_t host_pair_key(std::uint32_t a, std::uint32_t b) {
 
 }  // namespace
 
-std::size_t FlowTable::FlowKeyHash::operator()(
-    const FlowKey& k) const noexcept {
-  // splitmix64-style mix of the packed tuple; the table only needs
-  // decent dispersion, not cryptographic strength.
-  std::uint64_t x = (static_cast<std::uint64_t>(k.ip_a) << 32) ^ k.ip_b;
-  x ^= (static_cast<std::uint64_t>(k.port_a) << 48) ^
-       (static_cast<std::uint64_t>(k.port_b) << 16) ^
-       (k.tcp ? 0x9E3779B97F4A7C15ull : 0xC2B2AE3D27D4EB4Full);
-  x ^= x >> 30;
-  x *= 0xBF58476D1CE4E5B9ull;
-  x ^= x >> 27;
-  x *= 0x94D049BB133111EBull;
-  x ^= x >> 31;
-  return static_cast<std::size_t>(x);
-}
-
-FlowTable::FlowTable(FlowTableConfig config) : config_(config) {}
+FlowTable::FlowTable(FlowTableConfig config)
+    : config_(config), buckets_(kInitialBuckets) {}
 
 std::uint32_t FlowTable::host_id(std::uint32_t ip) {
   const auto [it, inserted] =
@@ -41,9 +26,74 @@ std::uint32_t FlowTable::host_id(std::uint32_t ip) {
   return it->second;
 }
 
-FlowTable::Flow& FlowTable::open_flow(const FlowKey& key,
-                                      const RawPacket& pkt) {
-  Flow flow;
+// --------------------------------------------------------------- buckets
+
+void FlowTable::insert_bucket(std::uint64_t hash, std::uint32_t slot) {
+  const std::size_t mask = buckets_.size() - 1;
+  std::size_t i = hash & mask;
+  while (buckets_[i].slot != kNil) i = (i + 1) & mask;
+  buckets_[i].hash = hash;
+  buckets_[i].slot = slot;
+}
+
+void FlowTable::erase_bucket_of(std::uint32_t slot) {
+  const std::size_t mask = buckets_.size() - 1;
+  std::size_t hole = slots_[slot].hash & mask;
+  while (buckets_[hole].slot != slot) hole = (hole + 1) & mask;
+
+  // Backward-shift deletion: pull every displaced element of the probe
+  // chain into the hole so lookups never need tombstones. An element at
+  // j may move into the hole iff the hole lies on its probe path, i.e.
+  // between its ideal cell and j (cyclically).
+  std::size_t j = hole;
+  while (true) {
+    j = (j + 1) & mask;
+    if (buckets_[j].slot == kNil) break;
+    const std::size_t ideal = buckets_[j].hash & mask;
+    if (((j - ideal) & mask) >= ((j - hole) & mask)) {
+      buckets_[hole] = buckets_[j];
+      hole = j;
+    }
+  }
+  buckets_[hole].slot = kNil;
+}
+
+void FlowTable::grow() {
+  buckets_.assign(buckets_.size() * 2, Bucket{});
+  // Reinsert every live flow; the LRU chain enumerates exactly those.
+  // Linear probing has no insertion-order dependence that any lookup
+  // can observe, so rebuild order does not affect behaviour.
+  for (std::uint32_t s = lru_head_; s != kNil; s = links_[s].next)
+    insert_bucket(slots_[s].hash, s);
+}
+
+// ------------------------------------------------------------ flow logic
+
+std::uint32_t FlowTable::open_flow(std::uint64_t hash, std::uint32_t ip_a,
+                                   std::uint32_t ip_b, std::uint16_t port_a,
+                                   std::uint16_t port_b,
+                                   const RawPacket& pkt) {
+  if ((live_ + 1) * 10 > buckets_.size() * 7) grow();
+
+  std::uint32_t s;
+  if (!free_.empty()) {
+    s = free_.back();
+    free_.pop_back();
+    slots_[s] = Flow{};
+    links_[s] = Link{};
+  } else {
+    s = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+    links_.emplace_back();
+  }
+  Flow& flow = slots_[s];
+  flow.ip_a = ip_a;
+  flow.ip_b = ip_b;
+  flow.port_a = port_a;
+  flow.port_b = port_b;
+  flow.tcp = pkt.tcp;
+  flow.hash = hash;
+
   flow.conn_id = next_conn_id_++;
   // A SYN+ACK means we caught the responder's half of the handshake
   // first: the originator is the other endpoint. Any other first packet
@@ -73,15 +123,14 @@ FlowTable::Flow& FlowTable::open_flow(const FlowKey& key,
     flow.session_id = it != ftp_sessions_.end() ? it->second : 0;
   }
 
-  lru_.push_back(key);
-  flow.lru = std::prev(lru_.end());
-  return flows_.emplace(key, flow).first->second;
+  insert_bucket(hash, s);
+  lru_push_back(s);
+  ++live_;
+  return s;
 }
 
-void FlowTable::close_flow(const FlowKey& key) {
-  const auto it = flows_.find(key);
-  if (it == flows_.end()) return;
-  Flow& flow = it->second;
+void FlowTable::close_flow(std::uint32_t slot) {
+  Flow& flow = slots_[slot];
 
   if (config_.collect_connections) {
     trace::ConnRecord rec;
@@ -103,68 +152,21 @@ void FlowTable::close_flow(const FlowKey& key) {
       ftp_sessions_.erase(sess);
   }
 
-  lru_.erase(flow.lru);
-  flows_.erase(it);
+  erase_bucket_of(slot);
+  lru_unlink(slot);
+  free_.push_back(slot);
+  --live_;
 }
 
 void FlowTable::evict_idle() {
-  while (!lru_.empty()) {
-    const auto it = flows_.find(lru_.front());
-    if (it == flows_.end() ||
-        clock_ - it->second.last <= config_.idle_timeout)
-      break;
-    close_flow(lru_.front());
+  while (lru_head_ != kNil) {
+    if (clock_ - slots_[lru_head_].last <= config_.idle_timeout) break;
+    close_flow(lru_head_);
   }
-}
-
-trace::PacketRecord FlowTable::add(const RawPacket& pkt) {
-  if (!any_ || pkt.time > clock_) clock_ = pkt.time;
-  any_ = true;
-  evict_idle();
-
-  FlowKey key;
-  const bool a_first =
-      pkt.src_ip < pkt.dst_ip ||
-      (pkt.src_ip == pkt.dst_ip && pkt.src_port <= pkt.dst_port);
-  key.ip_a = a_first ? pkt.src_ip : pkt.dst_ip;
-  key.port_a = a_first ? pkt.src_port : pkt.dst_port;
-  key.ip_b = a_first ? pkt.dst_ip : pkt.src_ip;
-  key.port_b = a_first ? pkt.dst_port : pkt.src_port;
-  key.tcp = pkt.tcp;
-
-  const auto it = flows_.find(key);
-  Flow& flow = it != flows_.end() ? it->second : open_flow(key, pkt);
-
-  const bool from_orig =
-      pkt.src_ip == flow.orig_ip && pkt.src_port == flow.orig_port;
-  if (pkt.time > flow.last) flow.last = pkt.time;
-  if (from_orig) {
-    flow.bytes_orig += pkt.payload_bytes;
-  } else {
-    flow.bytes_resp += pkt.payload_bytes;
-  }
-  lru_.splice(lru_.end(), lru_, flow.lru);  // most recently touched
-
-  trace::PacketRecord rec;
-  rec.time = pkt.time;
-  rec.protocol = flow.protocol;
-  rec.conn_id = flow.conn_id;
-  rec.from_originator = from_orig;
-  rec.payload_bytes = static_cast<std::uint16_t>(
-      pkt.payload_bytes > 0xFFFF ? 0xFFFF : pkt.payload_bytes);
-
-  if (pkt.tcp) {
-    if (pkt.tcp_flags & kTcpFin) {
-      (from_orig ? flow.fin_orig : flow.fin_resp) = true;
-    }
-    const bool both_fins = flow.fin_orig && flow.fin_resp;
-    if ((pkt.tcp_flags & kTcpRst) || both_fins) close_flow(key);
-  }
-  return rec;
 }
 
 void FlowTable::flush() {
-  while (!lru_.empty()) close_flow(lru_.front());
+  while (lru_head_ != kNil) close_flow(lru_head_);
 }
 
 void FlowTable::take_closed(std::vector<trace::ConnRecord>& out) {
@@ -173,8 +175,12 @@ void FlowTable::take_closed(std::vector<trace::ConnRecord>& out) {
 }
 
 void FlowTable::clear() {
-  flows_.clear();
-  lru_.clear();
+  buckets_.assign(kInitialBuckets, Bucket{});
+  slots_.clear();
+  links_.clear();
+  free_.clear();
+  live_ = 0;
+  lru_head_ = lru_tail_ = kNil;
   hosts_.clear();
   ftp_sessions_.clear();
   closed_.clear();

@@ -25,11 +25,18 @@ std::unique_ptr<IngestPacketSource> open_packet_source(
     const std::string& path, IngestFormat format, const IngestOptions& opt) {
   switch (format) {
     case IngestFormat::kPcap:
-      if (opt.shards > 1)
-        return std::make_unique<ShardedPcapPacketSource>(
+      if (opt.shards > 1) {
+        if (opt.rows_ingest)
+          return std::make_unique<ShardedPcapPacketSource>(
+              path, opt.mode, opt.shards, opt.flow, opt.chunk_size);
+        return std::make_unique<ShardedMmapPcapPacketSource>(
             path, opt.mode, opt.shards, opt.flow, opt.chunk_size);
-      return std::make_unique<PcapPacketSource>(path, opt.mode, opt.flow,
-                                                opt.chunk_size);
+      }
+      if (opt.rows_ingest)
+        return std::make_unique<PcapPacketSource>(path, opt.mode, opt.flow,
+                                                  opt.chunk_size);
+      return std::make_unique<MmapPcapPacketSource>(path, opt.mode, opt.flow,
+                                                    opt.chunk_size);
     case IngestFormat::kLblPkt:
       if (opt.shards > 1)
         return std::make_unique<ShardedLblPktPacketSource>(
@@ -43,13 +50,27 @@ std::unique_ptr<IngestPacketSource> open_packet_source(
       "lbl-conn logs hold connections, not packets; use open_conn_source");
 }
 
+std::unique_ptr<IngestColumnSource> open_packet_column_source(
+    const std::string& path, IngestFormat format, const IngestOptions& opt) {
+  // Native columnar decode exists only for serial mmap'd pcap; the
+  // other packet configurations keep their row sources and transpose.
+  if (format == IngestFormat::kPcap && opt.shards == 1 && !opt.rows_ingest)
+    return std::make_unique<PcapColumnSource>(path, opt.mode, opt.flow,
+                                              opt.chunk_size);
+  return std::make_unique<ColumnsFromIngest>(
+      open_packet_source(path, format, opt));
+}
+
 std::unique_ptr<IngestConnSource> open_conn_source(const std::string& path,
                                                    IngestFormat format,
                                                    const IngestOptions& opt) {
   switch (format) {
     case IngestFormat::kPcap:
-      return std::make_unique<PcapConnSource>(path, opt.mode, opt.flow,
-                                              opt.chunk_size);
+      if (opt.rows_ingest)
+        return std::make_unique<PcapConnSource>(path, opt.mode, opt.flow,
+                                                opt.chunk_size);
+      return std::make_unique<MmapPcapConnSource>(path, opt.mode, opt.flow,
+                                                  opt.chunk_size);
     case IngestFormat::kLblPkt:
       return std::make_unique<LblPktConnSource>(path, opt.mode, opt.flow,
                                                 opt.chunk_size);

@@ -16,6 +16,7 @@ std::string IngestStats::to_string() const {
       {"oversized records", oversized_records},
       {"bad lines", bad_lines},
       {"out-of-order timestamps", out_of_order},
+      {"read errors", io_errors},
       {"skipped frames", skipped_frames},
       {"short captures", short_captures},
       {"unknown transports", unknown_transports},

@@ -45,10 +45,17 @@ struct IngestStats {
 
   // --- structural defects (strict mode throws on each) ------------------
   std::uint64_t bad_headers = 0;         ///< unusable file/frame header
-  std::uint64_t truncated_records = 0;   ///< input ended mid-record
+  std::uint64_t truncated_records = 0;   ///< input ended mid-record (EOF)
   std::uint64_t oversized_records = 0;   ///< length field beyond sanity cap
   std::uint64_t bad_lines = 0;           ///< unparsable ASCII line
   std::uint64_t out_of_order = 0;        ///< timestamp before predecessor
+  /// Read failed before end of file (I/O error, not truncation). Kept
+  /// separate from truncated_records so a capture whose final record
+  /// was cut by a full disk reads differently from a dying disk: a
+  /// short read at EOF is truncation, a short read anywhere else is an
+  /// input error. Before this counter existed both silently ended the
+  /// stream through the clean-EOF return path.
+  std::uint64_t io_errors = 0;
 
   // --- tolerated oddities (counted in both modes, never fatal) ----------
   std::uint64_t skipped_frames = 0;      ///< non-IPv4 / fragment / odd link
@@ -60,7 +67,7 @@ struct IngestStats {
   /// Defects that strict mode treats as fatal.
   std::uint64_t structural_errors() const {
     return bad_headers + truncated_records + oversized_records + bad_lines +
-           out_of_order;
+           out_of_order + io_errors;
   }
 
   /// Multi-line human-readable ledger (only non-zero rows).
@@ -78,6 +85,7 @@ struct IngestStats {
     oversized_records += other.oversized_records;
     bad_lines += other.bad_lines;
     out_of_order += other.out_of_order;
+    io_errors += other.io_errors;
     skipped_frames += other.skipped_frames;
     short_captures += other.short_captures;
     unknown_transports += other.unknown_transports;

@@ -1,10 +1,9 @@
 #include "src/ingest/ita_ascii.hpp"
 
-#include <cerrno>
-#include <cstdlib>
+#include <array>
+#include <charconv>
 #include <limits>
-#include <sstream>
-#include <vector>
+#include <string_view>
 
 #include "src/ingest/classify.hpp"
 
@@ -12,34 +11,51 @@ namespace wan::ingest {
 
 namespace {
 
-std::vector<std::string> split_ws(const std::string& line) {
-  std::vector<std::string> fields;
-  std::istringstream ss(line);
-  std::string f;
-  while (ss >> f) fields.push_back(f);
-  return fields;
+// Tokenization and numeric parsing run per line over million-line
+// archives, so both are locale-free and allocation-free:
+// whitespace-splitting yields string_views into the getline buffer and
+// std::from_chars parses in place — no istringstream construction, no
+// strtod locale lookup, no c_str() copies.
+
+/// Splits `line` on blanks into at most `max` tokens. Returns the token
+/// count, which may be `max` + "there were more" — callers only ever
+/// need to distinguish "fewer than N" from "at least N".
+template <std::size_t N>
+std::size_t split_ws(std::string_view line,
+                     std::array<std::string_view, N>& out) {
+  constexpr std::string_view kBlank = " \t\r\v\f";
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  while (count < N) {
+    const std::size_t begin = line.find_first_not_of(kBlank, pos);
+    if (begin == std::string_view::npos) break;
+    const std::size_t end = line.find_first_of(kBlank, begin);
+    out[count++] = line.substr(begin, end - begin);
+    if (end == std::string_view::npos) break;
+    pos = end;
+  }
+  return count;
 }
 
-bool parse_double(const std::string& s, double* out) {
-  errno = 0;
-  char* end = nullptr;
-  const double v = std::strtod(s.c_str(), &end);
-  if (errno != 0 || end == s.c_str() || *end != '\0') return false;
+/// Whole-token double. Stricter than the strtod it replaced: no leading
+/// '+' and no hex floats — the archive formats write neither.
+bool parse_double(std::string_view s, double* out) {
+  double v = 0.0;
+  const auto [end, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || end != s.data() + s.size()) return false;
   *out = v;
   return true;
 }
 
-bool parse_u64(const std::string& s, std::uint64_t* out) {
-  errno = 0;
-  char* end = nullptr;
-  const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  if (errno != 0 || end == s.c_str() || *end != '\0' || s[0] == '-')
-    return false;
+bool parse_u64(std::string_view s, std::uint64_t* out) {
+  std::uint64_t v = 0;
+  const auto [end, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || end != s.data() + s.size()) return false;
   *out = v;
   return true;
 }
 
-bool skippable(const std::string& line) {
+bool skippable(std::string_view line) {
   for (char c : line) {
     if (c == '#') return true;
     if (c != ' ' && c != '\t' && c != '\r') return false;
@@ -66,10 +82,11 @@ bool LblConnReader::next(trace::ConnRecord& out) {
     const auto where = [&] {
       return path_ + " line " + std::to_string(line_no_);
     };
-    const auto fields = split_ws(line_);
-    if (fields.size() < 7) {
+    std::array<std::string_view, 7> fields;
+    const std::size_t nfields = split_ws(std::string_view(line_), fields);
+    if (nfields < 7) {
       report(stats_, &IngestStats::bad_lines, mode_,
-             "lbl-conn line with " + std::to_string(fields.size()) +
+             "lbl-conn line with " + std::to_string(nfields) +
                  " fields (need 7): " + where());
       continue;
     }
@@ -77,7 +94,8 @@ bool LblConnReader::next(trace::ConnRecord& out) {
     trace::ConnRecord rec;
     if (!parse_double(fields[0], &rec.start)) {
       report(stats_, &IngestStats::bad_lines, mode_,
-             "lbl-conn bad timestamp '" + fields[0] + "': " + where());
+             "lbl-conn bad timestamp '" + std::string(fields[0]) +
+                 "': " + where());
       continue;
     }
     // duration and the byte counters admit the archive's "?" (the
@@ -93,7 +111,7 @@ bool LblConnReader::next(trace::ConnRecord& out) {
     std::uint64_t host_a = 0, host_b = 0;
     for (int i = 0; ok && i < 2; ++i) {
       std::uint64_t* dst = i == 0 ? &rec.bytes_orig : &rec.bytes_resp;
-      const std::string& f = fields[3 + i];
+      const std::string_view f = fields[3 + i];
       if (f == "?") {
         ++stats_.missing_fields;
         *dst = 0;
@@ -115,7 +133,7 @@ bool LblConnReader::next(trace::ConnRecord& out) {
     rec.src_host = static_cast<std::uint32_t>(host_a);
     rec.dst_host = static_cast<std::uint32_t>(host_b);
 
-    const auto proto = protocol_from_service(fields[2]);
+    const auto proto = protocol_from_service(std::string(fields[2]));
     if (proto) {
       rec.protocol = *proto;
     } else {
@@ -167,10 +185,11 @@ bool LblPktReader::next(RawPacket& out) {
     const auto where = [&] {
       return path_ + " line " + std::to_string(line_no_);
     };
-    const auto fields = split_ws(line_);
-    if (fields.size() < 6) {
+    std::array<std::string_view, 6> fields;
+    const std::size_t nfields = split_ws(std::string_view(line_), fields);
+    if (nfields < 6) {
       report(stats_, &IngestStats::bad_lines, mode_,
-             "lbl-pkt line with " + std::to_string(fields.size()) +
+             "lbl-pkt line with " + std::to_string(nfields) +
                  " fields (need 6): " + where());
       continue;
     }

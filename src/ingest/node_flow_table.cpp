@@ -1,0 +1,186 @@
+#include "src/ingest/node_flow_table.hpp"
+
+#include <algorithm>
+
+#include "src/ingest/classify.hpp"
+
+namespace wan::ingest {
+
+namespace {
+
+std::uint64_t host_pair_key(std::uint32_t a, std::uint32_t b) {
+  const std::uint32_t lo = a < b ? a : b;
+  const std::uint32_t hi = a < b ? b : a;
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+}  // namespace
+
+std::size_t NodeFlowTable::FlowKeyHash::operator()(
+    const FlowKey& k) const noexcept {
+  // splitmix64-style mix of the packed tuple; the table only needs
+  // decent dispersion, not cryptographic strength.
+  std::uint64_t x = (static_cast<std::uint64_t>(k.ip_a) << 32) ^ k.ip_b;
+  x ^= (static_cast<std::uint64_t>(k.port_a) << 48) ^
+       (static_cast<std::uint64_t>(k.port_b) << 16) ^
+       (k.tcp ? 0x9E3779B97F4A7C15ull : 0xC2B2AE3D27D4EB4Full);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x);
+}
+
+NodeFlowTable::NodeFlowTable(FlowTableConfig config) : config_(config) {}
+
+std::uint32_t NodeFlowTable::host_id(std::uint32_t ip) {
+  const auto [it, inserted] =
+      hosts_.emplace(ip, static_cast<std::uint32_t>(hosts_.size() + 1));
+  (void)inserted;
+  return it->second;
+}
+
+NodeFlowTable::Flow& NodeFlowTable::open_flow(const FlowKey& key,
+                                              const RawPacket& pkt) {
+  Flow flow;
+  flow.conn_id = next_conn_id_++;
+  // A SYN+ACK means we caught the responder's half of the handshake
+  // first: the originator is the other endpoint. Any other first packet
+  // (plain SYN included) marks its sender as originator.
+  const bool syn = (pkt.tcp_flags & kTcpSyn) != 0;
+  const bool ack = (pkt.tcp_flags & kTcpAck) != 0;
+  const bool reversed = pkt.tcp && syn && ack;
+  flow.orig_ip = reversed ? pkt.dst_ip : pkt.src_ip;
+  flow.orig_port = reversed ? pkt.dst_port : pkt.src_port;
+  flow.resp_ip = reversed ? pkt.src_ip : pkt.dst_ip;
+  flow.resp_port = reversed ? pkt.src_port : pkt.dst_port;
+  flow.first = flow.last = pkt.time;
+  flow.protocol = pkt.tcp ? classify_tcp(flow.resp_port, flow.orig_port)
+                          : classify_udp(flow.resp_port, flow.orig_port,
+                                         pkt.multicast);
+
+  // Host ids are assigned in flow-open order (originator before
+  // responder), so a reset + re-ingest reproduces identical numbering.
+  host_id(flow.orig_ip);
+  host_id(flow.resp_ip);
+
+  const std::uint64_t pair = host_pair_key(flow.orig_ip, flow.resp_ip);
+  if (flow.protocol == trace::Protocol::kFtpCtrl) {
+    ftp_sessions_[pair] = flow.conn_id;
+  } else if (flow.protocol == trace::Protocol::kFtpData) {
+    const auto it = ftp_sessions_.find(pair);
+    flow.session_id = it != ftp_sessions_.end() ? it->second : 0;
+  }
+
+  lru_.push_back(key);
+  flow.lru = std::prev(lru_.end());
+  return flows_.emplace(key, flow).first->second;
+}
+
+void NodeFlowTable::close_flow(const FlowKey& key) {
+  const auto it = flows_.find(key);
+  if (it == flows_.end()) return;
+  Flow& flow = it->second;
+
+  if (config_.collect_connections) {
+    trace::ConnRecord rec;
+    rec.start = flow.first;
+    rec.duration = flow.last - flow.first;
+    rec.protocol = flow.protocol;
+    rec.src_host = host_id(flow.orig_ip);
+    rec.dst_host = host_id(flow.resp_ip);
+    rec.bytes_orig = flow.bytes_orig;
+    rec.bytes_resp = flow.bytes_resp;
+    rec.session_id = flow.session_id;
+    closed_.push_back(rec);
+  }
+
+  if (flow.protocol == trace::Protocol::kFtpCtrl) {
+    const std::uint64_t pair = host_pair_key(flow.orig_ip, flow.resp_ip);
+    const auto sess = ftp_sessions_.find(pair);
+    if (sess != ftp_sessions_.end() && sess->second == flow.conn_id)
+      ftp_sessions_.erase(sess);
+  }
+
+  lru_.erase(flow.lru);
+  flows_.erase(it);
+}
+
+void NodeFlowTable::evict_idle() {
+  while (!lru_.empty()) {
+    const auto it = flows_.find(lru_.front());
+    if (it == flows_.end() ||
+        clock_ - it->second.last <= config_.idle_timeout)
+      break;
+    close_flow(lru_.front());
+  }
+}
+
+trace::PacketRecord NodeFlowTable::add(const RawPacket& pkt) {
+  if (!any_ || pkt.time > clock_) clock_ = pkt.time;
+  any_ = true;
+  evict_idle();
+
+  FlowKey key;
+  const bool a_first =
+      pkt.src_ip < pkt.dst_ip ||
+      (pkt.src_ip == pkt.dst_ip && pkt.src_port <= pkt.dst_port);
+  key.ip_a = a_first ? pkt.src_ip : pkt.dst_ip;
+  key.port_a = a_first ? pkt.src_port : pkt.dst_port;
+  key.ip_b = a_first ? pkt.dst_ip : pkt.src_ip;
+  key.port_b = a_first ? pkt.dst_port : pkt.src_port;
+  key.tcp = pkt.tcp;
+
+  const auto it = flows_.find(key);
+  Flow& flow = it != flows_.end() ? it->second : open_flow(key, pkt);
+
+  const bool from_orig =
+      pkt.src_ip == flow.orig_ip && pkt.src_port == flow.orig_port;
+  if (pkt.time > flow.last) flow.last = pkt.time;
+  if (from_orig) {
+    flow.bytes_orig += pkt.payload_bytes;
+  } else {
+    flow.bytes_resp += pkt.payload_bytes;
+  }
+  lru_.splice(lru_.end(), lru_, flow.lru);  // most recently touched
+
+  trace::PacketRecord rec;
+  rec.time = pkt.time;
+  rec.protocol = flow.protocol;
+  rec.conn_id = flow.conn_id;
+  rec.from_originator = from_orig;
+  rec.payload_bytes = static_cast<std::uint16_t>(
+      pkt.payload_bytes > 0xFFFF ? 0xFFFF : pkt.payload_bytes);
+
+  if (pkt.tcp) {
+    if (pkt.tcp_flags & kTcpFin) {
+      (from_orig ? flow.fin_orig : flow.fin_resp) = true;
+    }
+    const bool both_fins = flow.fin_orig && flow.fin_resp;
+    if ((pkt.tcp_flags & kTcpRst) || both_fins) close_flow(key);
+  }
+  return rec;
+}
+
+void NodeFlowTable::flush() {
+  while (!lru_.empty()) close_flow(lru_.front());
+}
+
+void NodeFlowTable::take_closed(std::vector<trace::ConnRecord>& out) {
+  out.insert(out.end(), closed_.begin(), closed_.end());
+  closed_.clear();
+}
+
+void NodeFlowTable::clear() {
+  flows_.clear();
+  lru_.clear();
+  hosts_.clear();
+  ftp_sessions_.clear();
+  closed_.clear();
+  next_conn_id_ = 1;
+  clock_ = 0.0;
+  any_ = false;
+}
+
+}  // namespace wan::ingest

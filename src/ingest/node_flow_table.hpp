@@ -1,0 +1,95 @@
+// The original node-based flow table — std::unordered_map for flows and
+// a std::list LRU — retained verbatim as the A/B reference for the flat
+// open-addressing FlowTable (src/ingest/flow_table.hpp) that replaced
+// it on the hot path. The two tables are pinned to identical behaviour
+// (conn ids, host ids, eviction order, ConnRecords) by the
+// `ingest`-labeled tests and the bench_perf_ingest parity check; this
+// one exists so that pin has something to compare against and so the
+// flat table's speedup can be measured rather than asserted.
+//
+// Semantics (shared with FlowTable — see its header for the full story):
+//
+//   * a SYN without ACK marks its sender as the originator (otherwise
+//     the first packet's sender is assumed to originate);
+//   * FIN in both directions, or any RST, closes the connection at that
+//     packet;
+//   * a flow idle longer than `idle_timeout` is evicted when the clock
+//     (max timestamp seen) passes its horizon;
+//   * at end of input, flush() closes everything still open.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "src/ingest/flow_table.hpp"  // FlowTableConfig
+#include "src/ingest/raw_packet.hpp"
+#include "src/trace/records.hpp"
+
+namespace wan::ingest {
+
+class NodeFlowTable {
+ public:
+  explicit NodeFlowTable(FlowTableConfig config = {});
+
+  /// Folds one packet into the table and returns its analysis record.
+  /// Advances the eviction clock to the packet's time (monotone max).
+  trace::PacketRecord add(const RawPacket& pkt);
+
+  /// Closes every still-open flow (oldest first). Call at end of input.
+  void flush();
+
+  /// Moves the ConnRecords of flows closed since the last call into
+  /// `out` (appending, closure order). No-op when collect_connections
+  /// is off.
+  void take_closed(std::vector<trace::ConnRecord>& out);
+
+  /// Forgets everything: open flows, closed records, host numbering,
+  /// conn-id counter. A reset() source rebuilds identical ids.
+  void clear();
+
+  std::size_t open_flows() const { return flows_.size(); }
+  std::size_t host_count() const { return hosts_.size(); }
+  std::uint32_t connections_seen() const { return next_conn_id_ - 1; }
+
+ private:
+  struct FlowKey {
+    std::uint32_t ip_a = 0, ip_b = 0;
+    std::uint16_t port_a = 0, port_b = 0;
+    bool tcp = true;
+    bool operator==(const FlowKey&) const = default;
+  };
+  struct FlowKeyHash {
+    std::size_t operator()(const FlowKey& k) const noexcept;
+  };
+  struct Flow {
+    std::uint32_t conn_id = 0;
+    std::uint32_t orig_ip = 0, resp_ip = 0;
+    std::uint16_t orig_port = 0, resp_port = 0;
+    double first = 0.0, last = 0.0;
+    std::uint64_t bytes_orig = 0, bytes_resp = 0;
+    trace::Protocol protocol = trace::Protocol::kOther;
+    std::uint64_t session_id = 0;
+    bool fin_orig = false, fin_resp = false;
+    std::list<FlowKey>::iterator lru;
+  };
+
+  std::uint32_t host_id(std::uint32_t ip);
+  Flow& open_flow(const FlowKey& key, const RawPacket& pkt);
+  void close_flow(const FlowKey& key);
+  void evict_idle();
+
+  FlowTableConfig config_;
+  std::unordered_map<FlowKey, Flow, FlowKeyHash> flows_;
+  std::list<FlowKey> lru_;  ///< least recently touched at the front
+  std::unordered_map<std::uint32_t, std::uint32_t> hosts_;
+  /// Unordered host-ip pair -> conn_id of the open FTP control flow.
+  std::unordered_map<std::uint64_t, std::uint32_t> ftp_sessions_;
+  std::vector<trace::ConnRecord> closed_;
+  std::uint32_t next_conn_id_ = 1;
+  double clock_ = 0.0;
+  bool any_ = false;
+};
+
+}  // namespace wan::ingest

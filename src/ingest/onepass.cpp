@@ -1,0 +1,109 @@
+#include "src/ingest/onepass.hpp"
+
+#include <cmath>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <string>
+
+#include "src/stream/columnar_filters.hpp"
+
+namespace wan::ingest {
+
+stream::PipelineResult analyze_pcap_onepass(
+    PcapColumnSource& source, const stream::PipelineOptions& options) {
+  if (!source.info_deferred()) return stream::analyze_columns(source, options);
+
+  // The eager path rejects a non-positive bin up front (expected_bins
+  // is zero); match its exception before streaming anything.
+  if (!(options.bin > 0.0))
+    throw std::invalid_argument("analyze_stream: series too short");
+
+  // The same filter stack analyze_columns builds, in the same order.
+  // Their constructors cache the inner info() — whose deferred time
+  // range is zero, but only the derived *name* is read from it here;
+  // the range comes from the emission pass below.
+  stream::PacketColumnSource* src = &source;
+  std::optional<stream::ColumnFilterSource> filter;
+  if (options.protocol || options.orig_data_only) {
+    filter.emplace(*src, options.protocol, options.orig_data_only);
+    src = &*filter;
+  }
+  std::optional<stream::ColumnBulkOutlierSource> no_outliers;
+  if (options.remove_outliers) {
+    no_outliers.emplace(*src, options.outlier_max_bytes,
+                        options.outlier_max_rate);
+    src = &*no_outliers;
+  }
+  const std::string name = src->info().name;
+
+  // Speculation failed (or never got off the ground): rewind, run the
+  // prescan the deferred constructor skipped, and produce the result
+  // through the ordinary two-pass path. The abandoned filter wrappers
+  // above are rebuilt fresh by analyze_columns, so nothing stale
+  // survives into the authoritative run.
+  const auto fall_back = [&]() -> stream::PipelineResult {
+    source.ensure_eager_info();
+    return stream::analyze_columns(source, options);
+  };
+
+  // Single decode pass: bin as the packets flow, anchored at the first
+  // emitted packet's time. The anchor is only available once a packet
+  // has emitted, hence the lazy construction (a filter may pull many
+  // raw chunks before its first surviving row, or drop every row).
+  std::optional<stats::SpeculativeBinCounts> bins;
+  std::uint64_t packets = 0;
+  stream::PacketColumns chunk;
+  while (src->next(chunk)) {
+    packets += chunk.size();
+    if (!bins) bins.emplace(source.first_emitted_time(), options.bin);
+    bins->add(std::span<const double>(chunk.time));
+  }
+
+  // EOF: check the speculation.
+  //  * Nothing emitted — the eager info would be a zero range; let the
+  //    fallback throw "series too short" exactly as the eager path.
+  //  * Any out-of-order packet — the first packet was not the minimum,
+  //    so the anchor (and possibly bins already scattered) are wrong.
+  if (!source.any_emitted() || source.stats().out_of_order != 0)
+    return fall_back();
+  // All rows filtered out: the grid still spans the *raw* time range
+  // (filters forward the inner range); anchor it now.
+  if (!bins) bins.emplace(source.first_emitted_time(), options.bin);
+  const double t0 = source.first_emitted_time();
+  const double mx = source.emitted_max_time();
+  const double t_end = mx + source.tick();
+  // Tick absorbed at double precision: the fixed grid's half-open
+  // [t0, t_end) would *drop* the packets at mx, which the speculative
+  // pass already counted. Rare (huge epoch magnitudes); redo exactly.
+  if (!(t_end > mx)) return fall_back();
+  std::optional<std::vector<double>> counts = bins->finish(t_end);
+  if (!counts) return fall_back();
+
+  if (counts->size() < 16)  // == ceil((t_end - t0) / bin), the eager grid
+    throw std::invalid_argument("analyze_stream: series too short");
+
+  stream::PipelineResult result;
+  result.info.name = name;
+  result.info.t_begin = t0;
+  result.info.t_end = t_end;
+  result.bin = options.bin;
+  result.packets = packets;
+  result.counts = std::move(*counts);
+  stats::VtAccumulator vt(
+      stats::default_aggregation_levels(result.counts.size()));
+  stats::BurstLullAccumulator bl;
+  stats::MomentAccumulator moments;
+  // Identical interleaved drain to analyze_columns.
+  for (double c : result.counts) {
+    vt.push(c);
+    bl.push(c);
+    moments.push(c);
+  }
+  result.vt = vt.finish();
+  result.burst_lull = bl.finish();
+  result.count_moments = moments;
+  return result;
+}
+
+}  // namespace wan::ingest

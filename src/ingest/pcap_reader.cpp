@@ -4,108 +4,22 @@
 
 namespace wan::ingest {
 
-namespace {
-
-// The four classic magics, read as a little-endian u32. "Swapped" means
-// every header field must be byte-reversed relative to how this host
-// reads the file.
-constexpr std::uint32_t kMagicUsec = 0xA1B2C3D4;      // native usec
-constexpr std::uint32_t kMagicUsecSwap = 0xD4C3B2A1;  // swapped usec
-constexpr std::uint32_t kMagicNsec = 0xA1B23C4D;      // native nsec
-constexpr std::uint32_t kMagicNsecSwap = 0x4D3CB2A1;  // swapped nsec
-
-constexpr std::uint32_t kLinkLoop = 0;    // BSD loopback (4-byte family)
-constexpr std::uint32_t kLinkEther = 1;   // Ethernet
-constexpr std::uint32_t kLinkRawOld = 12; // raw IP (older BSDs)
-constexpr std::uint32_t kLinkRaw = 101;   // raw IP
-
-std::uint32_t load_le32(const unsigned char* p) {
-  return static_cast<std::uint32_t>(p[0]) |
-         (static_cast<std::uint32_t>(p[1]) << 8) |
-         (static_cast<std::uint32_t>(p[2]) << 16) |
-         (static_cast<std::uint32_t>(p[3]) << 24);
-}
-
-std::uint32_t bswap32(std::uint32_t v) {
-  return ((v & 0x000000FFu) << 24) | ((v & 0x0000FF00u) << 8) |
-         ((v & 0x00FF0000u) >> 8) | ((v & 0xFF000000u) >> 24);
-}
-
-std::uint16_t load_be16(const unsigned char* p) {
-  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
-}
-
-std::uint32_t load_be32(const unsigned char* p) {
-  return (static_cast<std::uint32_t>(p[0]) << 24) |
-         (static_cast<std::uint32_t>(p[1]) << 16) |
-         (static_cast<std::uint32_t>(p[2]) << 8) |
-         static_cast<std::uint32_t>(p[3]);
-}
-
-}  // namespace
-
 PcapReader::PcapReader(const std::string& path, ParseMode mode)
     : is_(path, std::ios::binary), path_(path), mode_(mode) {
   if (!is_) throw std::runtime_error("pcap: cannot open for read: " + path);
 
   unsigned char header[24];
-  if (!read_exact(header, sizeof(header))) {
-    report(stats_, &IngestStats::bad_headers, mode_,
-           "pcap global header truncated: " + path);
-    return;  // lenient: header_ok_ stays false, next() yields nothing
-  }
-  stats_.bytes += sizeof(header);
+  is_.read(reinterpret_cast<char*>(header), sizeof(header));
+  const auto got = static_cast<std::size_t>(is_.gcount());
+  if (got == sizeof(header)) stats_.bytes += sizeof(header);
+  header_ = parse_pcap_header(header, got, stats_, mode_, path);
+  if (!header_.ok) return;  // lenient: next() yields nothing
 
-  const std::uint32_t magic = load_le32(header);
-  switch (magic) {
-    case kMagicUsec: swap_ = false; tick_ = 1e-6; break;
-    case kMagicUsecSwap: swap_ = true; tick_ = 1e-6; break;
-    case kMagicNsec: swap_ = false; tick_ = 1e-9; break;
-    case kMagicNsecSwap: swap_ = true; tick_ = 1e-9; break;
-    default:
-      report(stats_, &IngestStats::bad_headers, mode_,
-             "not a pcap file (bad magic): " + path);
-      return;
-  }
-
-  const std::uint16_t version_major = u16(header + 4);
-  linktype_ = u32(header + 20);
-  if (version_major != 2) {
-    report(stats_, &IngestStats::bad_headers, mode_,
-           "unsupported pcap version " + std::to_string(version_major) +
-               ": " + path);
-    return;
-  }
-  if (linktype_ != kLinkEther && linktype_ != kLinkLoop &&
-      linktype_ != kLinkRaw && linktype_ != kLinkRawOld) {
-    report(stats_, &IngestStats::bad_headers, mode_,
-           "unsupported pcap link type " + std::to_string(linktype_) + ": " +
-               path);
-    return;
-  }
-
-  header_ok_ = true;
   data_offset_ = is_.tellg();
 }
 
-bool PcapReader::read_exact(void* dst, std::size_t n) {
-  is_.read(reinterpret_cast<char*>(dst), static_cast<std::streamsize>(n));
-  return static_cast<std::size_t>(is_.gcount()) == n;
-}
-
-std::uint32_t PcapReader::u32(const unsigned char* p) const {
-  const std::uint32_t v = load_le32(p);
-  return swap_ ? bswap32(v) : v;
-}
-
-std::uint16_t PcapReader::u16(const unsigned char* p) const {
-  const std::uint16_t v =
-      static_cast<std::uint16_t>(p[0] | (static_cast<unsigned>(p[1]) << 8));
-  return swap_ ? static_cast<std::uint16_t>((v >> 8) | (v << 8)) : v;
-}
-
 bool PcapReader::next(RawPacket& out) {
-  if (!header_ok_ || fatal_) return false;
+  if (!header_.ok || fatal_) return false;
   while (true) {
     bool decoded = false;
     if (!read_record(out, &decoded)) return false;
@@ -121,18 +35,30 @@ bool PcapReader::read_record(RawPacket& out, bool* decoded) {
   unsigned char rh[16];
   is_.read(reinterpret_cast<char*>(rh), sizeof(rh));
   const auto got = static_cast<std::size_t>(is_.gcount());
-  if (got == 0) return false;  // clean EOF
+  if (got == 0) {
+    if (is_.eof()) return false;  // clean EOF: ended on a record boundary
+    // Zero bytes without eofbit is the stream failing, not the capture
+    // ending — a truncated capture would at least reach end of file.
+    report(stats_, &IngestStats::io_errors, mode_,
+           "pcap read failed before end of file: " + path_);
+    fatal_ = true;
+    return false;
+  }
   if (got < sizeof(rh)) {
-    report(stats_, &IngestStats::truncated_records, mode_,
-           "pcap record header truncated: " + path_);
+    report(stats_,
+           is_.eof() ? &IngestStats::truncated_records
+                     : &IngestStats::io_errors,
+           mode_,
+           is_.eof() ? "pcap final record header truncated by EOF: " + path_
+                     : "pcap read failed mid record header: " + path_);
     fatal_ = true;
     return false;
   }
   stats_.bytes += sizeof(rh);
 
-  const std::uint32_t ts_sec = u32(rh);
-  const std::uint32_t ts_frac = u32(rh + 4);
-  const std::uint32_t incl_len = u32(rh + 8);
+  const std::uint32_t ts_sec = header_.u32(rh);
+  const std::uint32_t ts_frac = header_.u32(rh + 4);
+  const std::uint32_t incl_len = header_.u32(rh + 8);
 
   if (incl_len > kMaxCaptureBytes) {
     // No resync marker in the stream: a corrupt length poisons every
@@ -144,24 +70,34 @@ bool PcapReader::read_record(RawPacket& out, bool* decoded) {
     return false;
   }
   buf_.resize(incl_len);
-  if (incl_len > 0 && !read_exact(buf_.data(), incl_len)) {
-    report(stats_, &IngestStats::truncated_records, mode_,
-           "pcap record data truncated: " + path_);
-    fatal_ = true;
-    return false;
+  if (incl_len > 0) {
+    is_.read(reinterpret_cast<char*>(buf_.data()),
+             static_cast<std::streamsize>(incl_len));
+    if (static_cast<std::size_t>(is_.gcount()) != incl_len) {
+      report(stats_,
+             is_.eof() ? &IngestStats::truncated_records
+                       : &IngestStats::io_errors,
+             mode_,
+             is_.eof() ? "pcap final record data truncated by EOF: " + path_
+                       : "pcap read failed mid record data: " + path_);
+      fatal_ = true;
+      return false;
+    }
   }
   stats_.bytes += incl_len;
 
-  const double frac_limit = tick_ == 1e-6 ? 1e6 : 1e9;
+  const double frac_limit = header_.tick == 1e-6 ? 1e6 : 1e9;
   if (static_cast<double>(ts_frac) >= frac_limit) {
     report(stats_, &IngestStats::bad_headers, mode_,
            "pcap timestamp fraction out of range: " + path_);
     return true;  // lenient: drop this record, keep going
   }
   const double t =
-      static_cast<double>(ts_sec) + static_cast<double>(ts_frac) * tick_;
+      static_cast<double>(ts_sec) + static_cast<double>(ts_frac) * header_.tick;
 
-  if (!decode_frame(buf_, out)) return true;  // counted inside
+  if (!decode_pcap_frame(header_, buf_.data(), buf_.size(), out, stats_,
+                         mode_, path_))
+    return true;  // counted inside
 
   out.time = t;
   if (any_record_ && t < prev_time_) {
@@ -176,130 +112,8 @@ bool PcapReader::read_record(RawPacket& out, bool* decoded) {
   return true;
 }
 
-bool PcapReader::decode_frame(const std::vector<unsigned char>& data,
-                              RawPacket& out) {
-  std::size_t off = 0;
-  switch (linktype_) {
-    case kLinkEther: {
-      if (data.size() < 14) {
-        ++stats_.short_captures;
-        return false;
-      }
-      const std::uint16_t ethertype = load_be16(data.data() + 12);
-      if (ethertype != 0x0800) {  // not IPv4
-        ++stats_.skipped_frames;
-        return false;
-      }
-      off = 14;
-      break;
-    }
-    case kLinkLoop: {
-      if (data.size() < 4) {
-        ++stats_.short_captures;
-        return false;
-      }
-      // The 4-byte family is written in the *capturing* host's byte
-      // order; AF_INET == 2 in either reading means IPv4.
-      const std::uint32_t fam_le = load_le32(data.data());
-      const std::uint32_t fam_be = load_be32(data.data());
-      if (fam_le != 2 && fam_be != 2) {
-        ++stats_.skipped_frames;
-        return false;
-      }
-      off = 4;
-      break;
-    }
-    case kLinkRaw:
-    case kLinkRawOld:
-      off = 0;
-      break;
-    default:
-      ++stats_.skipped_frames;  // unreachable: constructor validates
-      return false;
-  }
-  return decode_ip(data.data() + off, data.size() - off, out);
-}
-
-bool PcapReader::decode_ip(const unsigned char* p, std::size_t len,
-                           RawPacket& out) {
-  if (len < 20) {
-    ++stats_.short_captures;
-    return false;
-  }
-  const unsigned version = p[0] >> 4;
-  if (version != 4) {
-    ++stats_.skipped_frames;
-    return false;
-  }
-  const std::size_t ihl = static_cast<std::size_t>(p[0] & 0x0F) * 4;
-  const std::uint16_t total_len = load_be16(p + 2);
-  if (ihl < 20 || total_len < ihl) {
-    report(stats_, &IngestStats::bad_headers, mode_,
-           "IPv4 header with impossible lengths: " + path_);
-    return false;
-  }
-  const std::uint16_t frag = load_be16(p + 6);
-  if ((frag & 0x1FFF) != 0) {  // non-first fragment: no transport header
-    ++stats_.skipped_frames;
-    return false;
-  }
-  if (len < ihl) {
-    ++stats_.short_captures;
-    return false;
-  }
-
-  out.src_ip = load_be32(p + 12);
-  out.dst_ip = load_be32(p + 16);
-  out.multicast = (out.dst_ip >> 28) == 0xE;
-
-  const unsigned char* tp = p + ihl;
-  const std::size_t tlen = len - ihl;
-  switch (p[9]) {
-    case 6: {  // TCP
-      // Ports, data offset and flags live in the first 14 bytes.
-      if (tlen < 14) {
-        ++stats_.short_captures;
-        return false;
-      }
-      out.tcp = true;
-      out.src_port = load_be16(tp);
-      out.dst_port = load_be16(tp + 2);
-      const std::size_t doff = static_cast<std::size_t>(tp[12] >> 4) * 4;
-      out.tcp_flags = tp[13];
-      if (doff < 20 || total_len < ihl + doff) {
-        report(stats_, &IngestStats::bad_headers, mode_,
-               "TCP header with impossible data offset: " + path_);
-        return false;
-      }
-      out.payload_bytes = static_cast<std::uint32_t>(total_len - ihl - doff);
-      return true;
-    }
-    case 17: {  // UDP
-      if (tlen < 8) {
-        ++stats_.short_captures;
-        return false;
-      }
-      out.tcp = false;
-      out.tcp_flags = 0;
-      out.src_port = load_be16(tp);
-      out.dst_port = load_be16(tp + 2);
-      const std::uint16_t udp_len = load_be16(tp + 4);
-      if (udp_len < 8) {
-        report(stats_, &IngestStats::bad_headers, mode_,
-               "UDP header with impossible length: " + path_);
-        return false;
-      }
-      out.payload_bytes = static_cast<std::uint32_t>(udp_len - 8);
-      return true;
-    }
-    default:
-      ++stats_.unknown_transports;
-      return false;
-  }
-}
-
 void PcapReader::reset() {
-  if (!header_ok_) return;
+  if (!header_.ok) return;
   is_.clear();
   is_.seekg(data_offset_);
   if (!is_) throw std::runtime_error("pcap: reset seek failed: " + path_);

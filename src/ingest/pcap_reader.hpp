@@ -9,9 +9,20 @@
 // IPv4 TCP/UDP are counted and skipped — the analysis record types only
 // model those two transports (src/trace/records.hpp).
 //
+// End-of-input taxonomy (shared with MmapPcapReader):
+//   * the file ends on a record boundary — clean EOF, nothing counted;
+//   * the file ends mid-record — truncated_records (a capture cut by a
+//     full disk or a killed monitor);
+//   * a read fails before EOF — io_errors (the input itself is dying).
+//
 // Memory is bounded by one record (capped at kMaxCaptureBytes): the
 // reader never materializes the file, so week-scale captures ingest
 // through the streaming pipeline in chunk-bounded memory.
+//
+// This is the retained reference implementation; the zero-copy
+// mmap-backed reader (src/ingest/mmap_source.hpp) is the default fast
+// path and is pinned byte-identical to this one — both call the same
+// src/ingest/pcap_decode.hpp routines on the same bytes.
 #pragma once
 
 #include <cstdint>
@@ -20,14 +31,10 @@
 #include <vector>
 
 #include "src/ingest/ingest_stats.hpp"
+#include "src/ingest/pcap_decode.hpp"
 #include "src/ingest/raw_packet.hpp"
 
 namespace wan::ingest {
-
-/// Upper bound on a record's captured length. Real snap lengths top out
-/// at 256 KiB; a length field above this is corruption, and because a
-/// pcap stream has no resync marker the reader stops at that point.
-inline constexpr std::uint32_t kMaxCaptureBytes = 1u << 20;
 
 class PcapReader {
  public:
@@ -49,33 +56,25 @@ class PcapReader {
 
   /// False when the global header was unusable (lenient mode only —
   /// strict mode throws from the constructor instead).
-  bool header_ok() const { return header_ok_; }
+  bool header_ok() const { return header_.ok; }
 
   /// Timestamp resolution: 1e-6 (usec magic) or 1e-9 (nsec magic).
-  double tick() const { return tick_; }
+  double tick() const { return header_.tick; }
 
   /// Link-layer type from the global header (1 Ethernet, 0 loopback,
   /// 12/101 raw IP).
-  std::uint32_t linktype() const { return linktype_; }
+  std::uint32_t linktype() const { return header_.linktype; }
 
  private:
-  bool read_exact(void* dst, std::size_t n);
-  std::uint32_t u32(const unsigned char* p) const;
-  std::uint16_t u16(const unsigned char* p) const;
   /// One pcap record; returns false at EOF/fatal, sets *decoded when the
   /// record yielded an analysis packet.
   bool read_record(RawPacket& out, bool* decoded);
-  bool decode_frame(const std::vector<unsigned char>& data, RawPacket& out);
-  bool decode_ip(const unsigned char* p, std::size_t len, RawPacket& out);
 
   std::ifstream is_;
   std::string path_;
   ParseMode mode_;
   IngestStats stats_;
-  bool swap_ = false;       ///< header fields are opposite-endian
-  double tick_ = 1e-6;
-  std::uint32_t linktype_ = 1;
-  bool header_ok_ = false;
+  PcapHeader header_;
   bool fatal_ = false;      ///< unrecoverable mid-file corruption (lenient)
   double prev_time_ = 0.0;
   bool any_record_ = false;

@@ -9,9 +9,14 @@ namespace {
 // One timestamp tick past the last packet puts it inside the half-open
 // analysis window [t_begin, t_end).
 double source_tick(const PcapReader& r) { return r.tick(); }
+double source_tick(const MmapPcapReader& r) { return r.tick(); }
 double source_tick(const LblPktReader&) { return 1e-6; }  // μs timestamps
 
+// Both pcap readers produce the same stream from the same file, so they
+// share the tag — a source's info().name must not depend on which
+// reader served it.
 const char* format_tag(const PcapReader&) { return "pcap:"; }
+const char* format_tag(const MmapPcapReader&) { return "pcap:"; }
 const char* format_tag(const LblPktReader&) { return "lbl-pkt:"; }
 
 /// Prescan pass: the packet time range, with the reader left rewound.
@@ -37,6 +42,23 @@ stream::StreamInfo prescan_packets(Reader& reader, const std::string& path) {
   return info;
 }
 
+/// MmapPcapReader prescans through scan_times — the same records and
+/// the same fold (the overload is preferred over the template), minus
+/// the per-record call overhead and the batch buffer stores: the
+/// prescan only ever needs the time range, never the packets.
+stream::StreamInfo prescan_packets(MmapPcapReader& reader,
+                                   const std::string& path) {
+  bool any = false;
+  double lo = 0.0, hi = 0.0;
+  reader.scan_times(&any, &lo, &hi);
+  reader.reset();
+  stream::StreamInfo info;
+  info.name = format_tag(reader) + path;
+  info.t_begin = any ? lo : 0.0;
+  info.t_end = any ? hi + source_tick(reader) : 0.0;
+  return info;
+}
+
 /// Packet consumers never drain closed-connection records; keep the
 /// tables from accumulating them.
 FlowTableConfig packet_flow_config(FlowTableConfig flow) {
@@ -48,19 +70,20 @@ FlowTableConfig packet_flow_config(FlowTableConfig flow) {
 
 // ------------------------------------------------------ PacketSourceImpl
 
-template <typename Reader>
-PacketSourceImpl<Reader>::PacketSourceImpl(const std::string& path,
-                                           ParseMode mode,
-                                           FlowTableConfig flow,
-                                           std::size_t chunk_size)
-    : reader_(path, mode), chunk_size_(chunk_size) {
-  flow.collect_connections = false;  // packet consumers never drain them
-  table_ = FlowTable(flow);
+template <typename Reader, typename Table>
+PacketSourceImpl<Reader, Table>::PacketSourceImpl(const std::string& path,
+                                                  ParseMode mode,
+                                                  FlowTableConfig flow,
+                                                  std::size_t chunk_size)
+    : reader_(path, mode),
+      table_(packet_flow_config(flow)),
+      chunk_size_(chunk_size) {
   info_ = prescan_packets(reader_, path);
 }
 
-template <typename Reader>
-bool PacketSourceImpl<Reader>::next(std::vector<trace::PacketRecord>& chunk) {
+template <typename Reader, typename Table>
+bool PacketSourceImpl<Reader, Table>::next(
+    std::vector<trace::PacketRecord>& chunk) {
   chunk.clear();
   RawPacket pkt;
   while (chunk.size() < chunk_size_ && reader_.next(pkt)) {
@@ -69,14 +92,16 @@ bool PacketSourceImpl<Reader>::next(std::vector<trace::PacketRecord>& chunk) {
   return !chunk.empty();
 }
 
-template <typename Reader>
-void PacketSourceImpl<Reader>::reset() {
+template <typename Reader, typename Table>
+void PacketSourceImpl<Reader, Table>::reset() {
   reader_.reset();
   table_.clear();  // identical conn ids on the second pass
 }
 
+template class PacketSourceImpl<MmapPcapReader>;
 template class PacketSourceImpl<PcapReader>;
 template class PacketSourceImpl<LblPktReader>;
+template class PacketSourceImpl<PcapReader, NodeFlowTable>;
 
 // ----------------------------------------------- ShardedPacketSourceImpl
 
@@ -106,8 +131,66 @@ void ShardedPacketSourceImpl<Reader>::reset() {
   table_.clear();  // identical conn ids on the second pass
 }
 
+template class ShardedPacketSourceImpl<MmapPcapReader>;
 template class ShardedPacketSourceImpl<PcapReader>;
 template class ShardedPacketSourceImpl<LblPktReader>;
+
+// ------------------------------------------------------ PcapColumnSource
+
+PcapColumnSource::PcapColumnSource(const std::string& path, ParseMode mode,
+                                   FlowTableConfig flow,
+                                   std::size_t chunk_size, Prescan prescan)
+    : reader_(path, mode),
+      table_(packet_flow_config(flow)),
+      chunk_size_(chunk_size),
+      deferred_(prescan == Prescan::kDeferred) {
+  if (deferred_) {
+    // Name now, time range only if ensure_eager_info() is ever needed.
+    info_.name = std::string("pcap:") + path;
+    path_ = path;
+  } else {
+    info_ = prescan_packets(reader_, path);
+  }
+}
+
+bool PcapColumnSource::next(stream::PacketColumns& chunk) {
+  chunk.clear();
+  chunk.reserve(chunk_size_);
+  // Fused: each record goes mapping -> decode -> flow table -> SoA
+  // columns in one pass, with no RawPacket batch buffer written and
+  // re-read in between.
+  reader_.fold_packets(chunk_size_, [&](const RawPacket& pkt) {
+    table_.add_append(pkt, chunk);
+  });
+  if (!first_time_set_ && !chunk.empty()) {
+    first_time_ = chunk.time.front();
+    first_time_set_ = true;
+  }
+  return !chunk.empty();
+}
+
+void PcapColumnSource::reset() {
+  reader_.reset();
+  table_.clear();  // identical conn ids on the second pass
+  first_time_set_ = false;
+  first_time_ = 0.0;
+}
+
+void PcapColumnSource::ensure_eager_info() {
+  if (!deferred_) return;
+  reset();
+  info_ = prescan_packets(reader_, path_);
+  deferred_ = false;
+}
+
+// ----------------------------------------------------- ColumnsFromIngest
+
+bool ColumnsFromIngest::next(stream::PacketColumns& chunk) {
+  chunk.clear();
+  if (!inner_->next(buf_)) return false;
+  chunk.append_rows(buf_);
+  return true;
+}
 
 // -------------------------------------------------------- FlowConnSource
 
@@ -155,6 +238,7 @@ void FlowConnSource<Reader>::reset() {
   flushed_ = false;
 }
 
+template class FlowConnSource<MmapPcapReader>;
 template class FlowConnSource<PcapReader>;
 template class FlowConnSource<LblPktReader>;
 

@@ -20,14 +20,6 @@ void PacketColumns::reserve(std::size_t n) {
   payload_bytes.reserve(n);
 }
 
-void PacketColumns::push_back(const trace::PacketRecord& r) {
-  time.push_back(r.time);
-  protocol.push_back(r.protocol);
-  conn_id.push_back(r.conn_id);
-  from_originator.push_back(r.from_originator ? 1 : 0);
-  payload_bytes.push_back(r.payload_bytes);
-}
-
 void PacketColumns::append_rows(std::span<const trace::PacketRecord> rows) {
   const std::size_t base = size();
   const std::size_t n = rows.size();

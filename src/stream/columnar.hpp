@@ -47,7 +47,15 @@ struct PacketColumns {
   void clear();
   void reserve(std::size_t n);
 
-  void push_back(const trace::PacketRecord& r);
+  /// Inline: this is the fused ingest path's per-packet append, and the
+  /// five capacity checks predict perfectly after a reserve().
+  void push_back(const trace::PacketRecord& r) {
+    time.push_back(r.time);
+    protocol.push_back(r.protocol);
+    conn_id.push_back(r.conn_id);
+    from_originator.push_back(r.from_originator ? 1 : 0);
+    payload_bytes.push_back(r.payload_bytes);
+  }
   void append_rows(std::span<const trace::PacketRecord> rows);
 
   /// Row i reassembled as a record (the AoS view of one row).

@@ -13,7 +13,10 @@
 // through flow reconstruction (src/ingest) on the way in, so the
 // analyses below see the same record types either way. Ingestion is
 // strict by default; --lenient salvages damaged captures and prints the
-// error ledger.
+// error ledger. pcap ingestion defaults to the zero-copy fast path
+// (mmap'd decode, flat flow table, direct columnar emission — DESIGN.md
+// §14); --rows-ingest selects the retained ifstream row reader, which
+// produces the same bytes slower.
 //
 // --stream runs the packet analysis through the chunked pipeline
 // (src/stream): the file is never materialized in memory, yet the
@@ -83,7 +86,7 @@ int usage() {
                "[--poisson-interval SEC]\n"
                "                          [--window-csv FILE]]\n"
                "  either mode: [--ingest-format pcap|lbl-conn|lbl-pkt] "
-               "[--lenient]\n");
+               "[--lenient] [--rows-ingest]\n");
   return 2;
 }
 
@@ -106,6 +109,7 @@ ingest::IngestOptions ingest_options(const tools::ArgParser& args) {
   opt.mode = args.has("--lenient") ? ingest::ParseMode::kLenient
                                    : ingest::ParseMode::kStrict;
   opt.chunk_size = args.count("--chunk", opt.chunk_size, 1);
+  opt.rows_ingest = args.has("--rows-ingest");
   return opt;
 }
 
@@ -280,6 +284,19 @@ int run_pkt(const std::string& path, const tools::ArgParser& args) {
   if (const auto format = ingest_format(args)) {
     ingest::IngestOptions iopt = ingest_options(args);
     iopt.shards = shards;  // shard flow reconstruction too
+    // The zero-copy fast path: mmap'd decode feeds columns straight
+    // into analyze_columns — no PacketRecord chunk, no transpose. Taken
+    // whenever the streamed columnar analysis would run anyway.
+    if (!windowed && args.has("--stream") && shards == 1 &&
+        !args.has("--rows")) {
+      const auto src = ingest::open_packet_column_source(path, *format, iopt);
+      const auto result = stream::analyze_columns(*src, opt);
+      std::printf("ingested %llu packets from %s (%s)\n",
+                  static_cast<unsigned long long>(result.packets),
+                  path.c_str(), src->info().name.c_str());
+      print_ingest_ledger(src->stats());
+      return report_pkt(result, args);
+    }
     const auto src = ingest::open_packet_source(path, *format, iopt);
     if (windowed) return run_windowed(*src, *windowed, args);
     stream::PipelineResult result;
@@ -334,6 +351,7 @@ int main(int argc, char** argv) {
   args.add_flag("--filtered");
   args.add_flag("--stream");
   args.add_flag("--rows");
+  args.add_flag("--rows-ingest");
   args.add_flag("--lenient");
   args.add_option("--ingest-format");
   args.add_option("--interval");
