@@ -18,6 +18,7 @@ std::string IngestStats::to_string() const {
       {"out-of-order timestamps", out_of_order},
       {"read errors", io_errors},
       {"skipped frames", skipped_frames},
+      {"vlan-tagged frames (decoded)", vlan_frames},
       {"short captures", short_captures},
       {"unknown transports", unknown_transports},
       {"unknown protocols", unknown_protocols},

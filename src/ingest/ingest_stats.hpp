@@ -59,6 +59,10 @@ struct IngestStats {
 
   // --- tolerated oddities (counted in both modes, never fatal) ----------
   std::uint64_t skipped_frames = 0;      ///< non-IPv4 / fragment / odd link
+  /// 802.1Q/802.1ad-tagged Ethernet frames whose tags were unwrapped to
+  /// reach the inner payload — decoded, not dropped; counted so a
+  /// capture from a trunk port is recognizable from its ledger.
+  std::uint64_t vlan_frames = 0;
   std::uint64_t short_captures = 0;      ///< snaplen cut transport header
   std::uint64_t unknown_transports = 0;  ///< IP proto other than TCP/UDP
   std::uint64_t unknown_protocols = 0;   ///< service name/port not mapped
@@ -87,6 +91,7 @@ struct IngestStats {
     out_of_order += other.out_of_order;
     io_errors += other.io_errors;
     skipped_frames += other.skipped_frames;
+    vlan_frames += other.vlan_frames;
     short_captures += other.short_captures;
     unknown_transports += other.unknown_transports;
     unknown_protocols += other.unknown_protocols;

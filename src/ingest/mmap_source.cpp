@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <stdexcept>
 
@@ -92,6 +93,9 @@ BufferedByteSource::BufferedByteSource(const std::string& path)
     throw std::runtime_error("pcap: cannot open for read: " + path);
 }
 
+BufferedByteSource::BufferedByteSource(int fd, std::string name)
+    : fd_(fd), path_(std::move(name)) {}
+
 BufferedByteSource::~BufferedByteSource() {
   if (fd_ >= 0) ::close(fd_);
 }
@@ -108,7 +112,12 @@ void BufferedByteSource::refill(std::size_t want) {
   }
   const std::size_t target = want > kBufferBlock ? want : kBufferBlock;
   if (buf_.size() < target) buf_.resize(target);
-  while (end_ < target && !eof_ && !read_error_) {
+  // Stop as soon as `want` is satisfied, not when the block fills:
+  // each read() still requests the whole remaining block, so a regular
+  // file refills in big strides, but a pipe delivering records slower
+  // than the block size never stalls the caller behind bytes that
+  // have not arrived yet.
+  while (end_ < want && !eof_ && !read_error_) {
     const ssize_t got =
         ::read(fd_, buf_.data() + end_, buf_.size() - end_);
     if (got > 0) {
@@ -139,7 +148,45 @@ void BufferedByteSource::rewind() {
   read_error_ = false;
 }
 
+std::unique_ptr<ByteSource> spooled_byte_source(int fd,
+                                                const std::string& name) {
+  char spool_path[] = "/tmp/wantraffic_spool_XXXXXX";
+  const int spool = ::mkstemp(spool_path);
+  if (spool < 0)
+    throw_errno("cannot create stdin spool file", name);
+  ::unlink(spool_path);  // anonymous: vanishes with the descriptor
+
+  std::vector<unsigned char> block(std::size_t{1} << 20);
+  for (;;) {
+    const ssize_t got = ::read(fd, block.data(), block.size());
+    if (got == 0) break;
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      ::close(spool);
+      throw_errno("read from stream failed while spooling", name);
+    }
+    std::size_t off = 0;
+    while (off < static_cast<std::size_t>(got)) {
+      const ssize_t put =
+          ::write(spool, block.data() + off,
+                  static_cast<std::size_t>(got) - off);
+      if (put < 0) {
+        if (errno == EINTR) continue;
+        ::close(spool);
+        throw_errno("write to stdin spool failed", name);
+      }
+      off += static_cast<std::size_t>(put);
+    }
+  }
+  if (::lseek(spool, 0, SEEK_SET) != 0) {
+    ::close(spool);
+    throw_errno("cannot rewind stdin spool", name);
+  }
+  return std::make_unique<BufferedByteSource>(spool, name);
+}
+
 std::unique_ptr<ByteSource> open_byte_source(const std::string& path) {
+  if (path == "-") return spooled_byte_source(0, "<stdin>");
   struct stat st {};
   if (::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
     try {

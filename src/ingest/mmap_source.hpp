@@ -123,6 +123,13 @@ class MmapByteSource final : public ByteSource {
 class BufferedByteSource final : public ByteSource {
  public:
   explicit BufferedByteSource(const std::string& path);
+
+  /// Adopts an already-open descriptor (closed on destruction). `name`
+  /// appears in error messages in place of a path. This is how the
+  /// stdin spool and the monitor daemon's pipe source reuse the
+  /// sliding-buffer contract on descriptors that have no path.
+  BufferedByteSource(int fd, std::string name);
+
   ~BufferedByteSource() override;
 
   BufferedByteSource(const BufferedByteSource&) = delete;
@@ -150,7 +157,19 @@ class BufferedByteSource final : public ByteSource {
 };
 
 /// mmap when the path is a regular mappable file, buffered otherwise.
+/// The path "-" means standard input: the stream is spooled once into
+/// an unlinked temporary file (bounded by disk, not memory) and served
+/// through BufferedByteSource, so the two-pass sources' prescan +
+/// rewind contract holds even though a pipe cannot seek. Every pcap
+/// reader and source therefore accepts "-" transparently.
 std::unique_ptr<ByteSource> open_byte_source(const std::string& path);
+
+/// Drains `fd` to EOF into an unlinked temp file and returns a
+/// rewindable BufferedByteSource over it — the "-" implementation,
+/// exposed so tests can feed a pipe directly. Throws std::runtime_error
+/// when the spool file cannot be created or a read/write fails.
+std::unique_ptr<ByteSource> spooled_byte_source(int fd,
+                                                const std::string& name);
 
 /// PcapReader's contract over a ByteSource — the zero-copy fast path.
 class MmapPcapReader {

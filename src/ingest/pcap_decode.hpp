@@ -102,12 +102,27 @@ inline bool decode_pcap_frame_inline(const PcapHeader& header,
         ++stats.short_captures;
         return false;
       }
-      const std::uint16_t ethertype = load_be16(data + 12);
+      std::uint16_t ethertype = load_be16(data + 12);
+      off = 14;
+      // 802.1Q / 802.1ad VLAN tags: each inserts 4 bytes (TCI + the
+      // real ethertype) after the MACs. Stacked tags (QinQ) nest at
+      // most a handful deep; 4 covers every capture seen in the wild
+      // and bounds the loop against a crafted tag chain.
+      int tags = 0;
+      for (; (ethertype == 0x8100 || ethertype == 0x88A8) && tags < 4;
+           ++tags) {
+        if (len < off + 4) {
+          ++stats.short_captures;
+          return false;
+        }
+        ethertype = load_be16(data + off + 2);
+        off += 4;
+      }
+      if (tags > 0) ++stats.vlan_frames;  // one tagged frame, however deep
       if (ethertype != 0x0800) {  // not IPv4
         ++stats.skipped_frames;
         return false;
       }
-      off = 14;
       break;
     }
     case kLinkLoop: {

@@ -1,0 +1,76 @@
+// Minimal pcap *writer* — the inverse of the readers, for tests and
+// benches that need a real capture file to tail or replay. Writes the
+// classic little-endian usec format (magic 0xa1b2c3d4, linktype
+// Ethernet) with fully synthetic but internally consistent frames:
+// Ethernet/IPv4/TCP, 54 header bytes plus no captured payload, with
+// the IP total length carrying the payload size the way our decoder
+// derives payload_bytes (total_len - ip_hdr - tcp_hdr).
+//
+// write_pcap_for_records() round-trips trace::PacketRecords: each
+// conn_id gets a distinct host pair and a responder port chosen so
+// classify_tcp() reproduces the record's protocol, the first packet of
+// a connection carries SYN (or SYN|ACK when the responder speaks
+// first, which FlowTable maps back to the same originator), and every
+// later packet plain ACK. Feeding the file through any pcap source
+// therefore yields the original records — same times, protocols,
+// direction flags and payload sizes — which is what lets monitor tests
+// compare a live tail/replay against the offline analyzers on
+// arbitrary synthesized traffic, not just the checked-in fixtures.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "src/trace/records.hpp"
+
+namespace wan::ingest {
+
+class PcapFileWriter {
+ public:
+  /// Opens (truncates) `path` and writes the global header.
+  /// Throws std::runtime_error when the file cannot be created.
+  explicit PcapFileWriter(const std::string& path);
+
+  /// Appends one Ethernet/IPv4/TCP frame. `payload_bytes` is encoded in
+  /// the IP total length (not captured), matching how decode derives it.
+  void write_tcp(double time, std::uint32_t src_ip, std::uint32_t dst_ip,
+                 std::uint16_t src_port, std::uint16_t dst_port,
+                 std::uint8_t tcp_flags, std::uint16_t payload_bytes);
+
+  void flush() { out_.flush(); }
+
+ private:
+  std::ofstream out_;
+};
+
+/// Streaming record-to-frame encoder: feed time-ordered PacketRecords
+/// one at a time and get the capture described in the file comment.
+/// State is one small entry per distinct conn_id, so multi-day
+/// synthetic captures encode without materializing their records.
+class PcapRecordEncoder {
+ public:
+  explicit PcapRecordEncoder(const std::string& path) : writer_(path) {}
+
+  void add(const trace::PacketRecord& record);
+  void flush() { writer_.flush(); }
+
+ private:
+  struct Conn {
+    std::uint32_t orig_ip = 0, resp_ip = 0;
+    std::uint16_t orig_port = 0, resp_port = 0;
+    bool started = false;
+  };
+
+  PcapFileWriter writer_;
+  std::unordered_map<std::uint32_t, Conn> conns_;
+};
+
+/// Synthesizes a capture that ingests back to exactly `records` (which
+/// must be time-ordered). See the file comment for the construction.
+void write_pcap_for_records(const std::string& path,
+                            std::span<const trace::PacketRecord> records);
+
+}  // namespace wan::ingest

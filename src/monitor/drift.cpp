@@ -1,0 +1,98 @@
+#include "src/monitor/drift.hpp"
+
+#include <cstdio>
+
+namespace wan::monitor {
+
+namespace {
+
+std::string fmt(const char* format, double a, double b, double c) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf), format, a, b, c);
+  return buf;
+}
+
+}  // namespace
+
+DriftTracker::DriftTracker(std::string name, const DriftConfig& config)
+    : name_(std::move(name)), config_(config) {}
+
+std::size_t DriftTracker::ring_pass_count() const {
+  std::size_t n = 0;
+  for (bool v : verdicts_)
+    if (v) ++n;
+  return n;
+}
+
+void DriftTracker::on_report(const stream::WindowReport& report,
+                             std::vector<std::string>& out) {
+  // ---- Poisson verdict ring -------------------------------------
+  if (report.poisson) {
+    verdicts_.push_back(report.poisson->poisson);
+    if (verdicts_.size() > config_.verdict_window) verdicts_.pop_front();
+    ++reports_since_announce_;
+
+    const std::size_t pass = ring_pass_count();
+    const std::size_t fail = verdicts_.size() - pass;
+    if (verdicts_.size() == config_.verdict_window) {
+      if (state_ == 0) {
+        // First full ring: adopt the majority as the initial state.
+        state_ = pass * 2 >= verdicts_.size() ? 1 : -1;
+        out.push_back(name_ + " arrivals " +
+                      (state_ > 0 ? "look Poisson" : "are not Poisson") +
+                      " (Appendix A " +
+                      (state_ > 0 ? "pass " + std::to_string(pass)
+                                  : "fails " + std::to_string(fail)) +
+                      "/" + std::to_string(verdicts_.size()) + " windows)");
+        reports_since_announce_ = 0;
+      } else if (state_ > 0 && fail >= config_.flip_count) {
+        state_ = -1;
+        out.push_back(name_ + " arrivals no longer Poisson (Appendix A "
+                      "fails " + std::to_string(fail) + "/" +
+                      std::to_string(verdicts_.size()) + " windows)");
+        reports_since_announce_ = 0;
+      } else if (state_ < 0 && pass >= config_.flip_count) {
+        state_ = 1;
+        out.push_back(name_ + " arrivals now Poisson (Appendix A pass " +
+                      std::to_string(pass) + "/" +
+                      std::to_string(verdicts_.size()) + " windows)");
+        reports_since_announce_ = 0;
+      }
+    }
+    if (state_ != 0 && reports_since_announce_ >= config_.confirm_every) {
+      out.push_back(name_ + " arrivals still " +
+                    (state_ > 0 ? "Poisson (Appendix A pass " +
+                                      std::to_string(pass)
+                                : "non-Poisson (Appendix A fails " +
+                                      std::to_string(fail)) +
+                    "/" + std::to_string(verdicts_.size()) + " windows)");
+      reports_since_announce_ = 0;
+    }
+  }
+
+  // ---- Hurst drift against the lookback reference ----------------
+  if (report.whittle_warm) {  // skip the cold-start fit's transient
+    const double h = report.whittle.hurst;
+    // Reference: the newest H at least `lookback` capture-seconds old.
+    // Pop older entries behind it — they can never be the reference
+    // again — but keep the reference itself until one ages past it.
+    while (hurst_history_.size() >= 2 &&
+           hurst_history_[1].first <= report.t1 - config_.hurst_lookback)
+      hurst_history_.pop_front();
+    if (!hurst_history_.empty() &&
+        hurst_history_.front().first <= report.t1 - config_.hurst_lookback) {
+      const double ref = hurst_history_.front().second;
+      if (h - ref >= config_.hurst_threshold ||
+          ref - h >= config_.hurst_threshold) {
+        out.push_back(name_ +
+                      fmt(" H drifted %.2f -> %.2f over the last %.0f s",
+                          ref, h, report.t1 - hurst_history_.front().first));
+        // Re-base at the drifted-to level: the shift announces once.
+        hurst_history_.clear();
+      }
+    }
+    hurst_history_.emplace_back(report.t1, h);
+  }
+}
+
+}  // namespace wan::monitor

@@ -1,0 +1,68 @@
+// Drift detection over a window-report stream: turns the per-slide
+// numbers into the few human-readable state transitions an operator
+// actually wants to see.
+//
+// Two trackers per engine, both with hysteresis so a single noisy
+// window cannot flap the state:
+//
+//   * Poisson verdict — a ring of the last `verdict_window` windows'
+//     Appendix-A verdicts. The announced state flips only when at
+//     least `flip_count` of the ring disagree with it (8 of 10 by
+//     default), and every `confirm_every` reports a "still ..." line
+//     restates the current state with the ring tally, e.g.
+//       TELNET arrivals still Poisson (Appendix A pass 9/10 windows)
+//
+//   * Hurst drift — the Whittle H of each report is compared against
+//     the value from ~`hurst_lookback` capture-seconds earlier. A move
+//     of at least `hurst_threshold` announces
+//       FTPDATA H drifted 0.71 -> 0.83 over the last 3600 s
+//     and then re-bases: the drifted-to level becomes the new
+//     reference, so a level shift announces once instead of once per
+//     slide while the old value ages out of the lookback.
+//
+// Everything here is a pure function of the report sequence — no wall
+// clock, no randomness — so monitor output stays byte-reproducible.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "src/stream/window_analyzer.hpp"
+
+namespace wan::monitor {
+
+struct DriftConfig {
+  std::size_t verdict_window = 10;  ///< Poisson verdicts remembered
+  std::size_t flip_count = 8;       ///< disagreeing verdicts to flip state
+  std::size_t confirm_every = 12;   ///< "still ..." cadence, in reports
+  double hurst_lookback = 3600.0;   ///< compare H against this long ago
+  double hurst_threshold = 0.1;     ///< |dH| that counts as drift
+};
+
+class DriftTracker {
+ public:
+  DriftTracker(std::string name, const DriftConfig& config);
+
+  /// Consumes one report; appends zero or more announcement lines.
+  void on_report(const stream::WindowReport& report,
+                 std::vector<std::string>& out);
+
+  /// Current announced Poisson state: +1 Poisson, -1 not, 0 undecided.
+  int poisson_state() const { return state_; }
+
+ private:
+  std::size_t ring_pass_count() const;
+
+  std::string name_;
+  DriftConfig config_;
+
+  std::deque<bool> verdicts_;  ///< last N windows' Appendix-A verdicts
+  int state_ = 0;
+  std::size_t reports_since_announce_ = 0;
+
+  std::deque<std::pair<double, double>> hurst_history_;  ///< (t1, H)
+};
+
+}  // namespace wan::monitor

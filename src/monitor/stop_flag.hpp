@@ -1,0 +1,13 @@
+// The process-wide stop flag SIGINT/SIGTERM handlers set (a handler
+// can only touch a pre-known atomic, so this cannot live per-daemon).
+// Everything in the monitor that waits — the daemon poll loop, a paced
+// replay sleep — checks it alongside any per-run flag.
+#pragma once
+
+#include <atomic>
+
+namespace wan::monitor {
+
+std::atomic<bool>& global_stop() noexcept;
+
+}  // namespace wan::monitor

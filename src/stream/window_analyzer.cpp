@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <stdexcept>
 
 #include "src/stats/counting.hpp"
@@ -15,6 +16,19 @@ std::string fmt_double(double v) {
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
+}
+
+/// Variance-time H of one window's counts, or NaN when the window is
+/// too sparse to fit (fewer than two levels with nonzero variance —
+/// e.g. a tracked protocol that went quiet under a running monitor).
+/// A full-trace analysis still throws through variance_time_plot
+/// directly; per-window sparsity must degrade, not kill the stream.
+double vt_hurst_or_nan(std::span<const double> counts) {
+  try {
+    return stats::variance_time_plot(counts).hurst();
+  } catch (const std::invalid_argument&) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
 }
 
 /// num / den as a whole positive count, to the relative tolerance that
@@ -180,7 +194,7 @@ void WindowedAnalyzer::emit_report() {
   const stats::BurstLull bl = burst_.merged().finish();
   report.mean_burst_bins = bl.mean_burst_bins();
   report.mean_lull_bins = bl.mean_lull_bins();
-  report.vt_hurst = stats::variance_time_plot(scratch_counts_).hurst();
+  report.vt_hurst = vt_hurst_or_nan(scratch_counts_);
 
   const fft::Periodogram base = spectrum_.ring(0).finish();
   if (!refitter_)
@@ -289,7 +303,7 @@ WindowReport analyze_window_counts(std::span<const double> counts, double t0,
   const stats::BurstLull bl = stats::burst_lull_structure(counts);
   report.mean_burst_bins = bl.mean_burst_bins();
   report.mean_lull_bins = bl.mean_lull_bins();
-  report.vt_hurst = stats::variance_time_plot(counts).hurst();
+  report.vt_hurst = vt_hurst_or_nan(counts);
 
   // Cold Whittle fits per level; the level series descends by repeated
   // pairwise means — the arithmetic the rolling cascade replicates

@@ -15,6 +15,10 @@ so endian/precision variants can be compared record for record):
   tiny_nsec.pcap  the same capture with the nanosecond magic
   tiny_ooo.pcap   the same capture with two records swapped (timestamp
                   goes backwards: strict rejects, lenient counts)
+  tiny_vlan.pcap  the same capture with an 802.1Q tag (VLAN 42) spliced
+                  into every frame — one frame double-tagged 802.1ad
+                  QinQ — so decoding it must yield tiny_le.pcap's
+                  records exactly, plus a vlan_frames ledger count
   trunc.pcap      tiny_le.pcap cut mid-record (full-disk style)
   badmagic.pcap   not a pcap file at all
 
@@ -99,6 +103,19 @@ PACKETS = [
 ]
 
 
+def vlan_wrap(frame, vids, *, qinq=False):
+    """Splices one 4-byte 802.1Q tag per vid before the ethertype.
+
+    With qinq, the outer tag uses the 802.1ad service ethertype 0x88A8
+    the way provider bridges stack tags.
+    """
+    tags = b""
+    for i, vid in enumerate(vids):
+        tpid = 0x88A8 if qinq and i == 0 and len(vids) > 1 else 0x8100
+        tags += struct.pack(">HH", tpid, vid)
+    return frame[:12] + tags + frame[12:]
+
+
 def write_pcap(path, packets, *, big=False, nsec=False):
     e = ">" if big else "<"
     magic = 0xA1B23C4D if nsec else 0xA1B2C3D4
@@ -126,6 +143,16 @@ def main():
     ooo = list(PACKETS)
     ooo[2], ooo[3] = ooo[3], ooo[2]  # timestamp steps backwards once
     write_pcap(HERE / "tiny_ooo.pcap", ooo)
+
+    # Every frame 802.1Q-tagged (VLAN 42); the third frame stacked
+    # 802.1ad QinQ (outer 100, inner 42). The ARP frame is tagged too:
+    # the decoder must unwrap its tag, then still skip the inner ARP.
+    vlan = []
+    for i, (t_usec, frame, orig_len) in enumerate(PACKETS):
+        vids, qinq = ([100, 42], True) if i == 2 else ([42], False)
+        tagged = vlan_wrap(frame, vids, qinq=qinq)
+        vlan.append((t_usec, tagged, orig_len + len(tagged) - len(frame)))
+    write_pcap(HERE / "tiny_vlan.pcap", vlan)
 
     whole = (HERE / "tiny_le.pcap").read_bytes()
     (HERE / "trunc.pcap").write_bytes(whole[:-10])  # mid-record cut

@@ -6,9 +6,12 @@
 // eviction/reincarnation scenarios. The fast path is only allowed to be
 // faster — never different.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -56,6 +59,7 @@ void expect_same_stats(const ingest::IngestStats& a,
   EXPECT_EQ(a.out_of_order, b.out_of_order);
   EXPECT_EQ(a.io_errors, b.io_errors);
   EXPECT_EQ(a.skipped_frames, b.skipped_frames);
+  EXPECT_EQ(a.vlan_frames, b.vlan_frames);
   EXPECT_EQ(a.short_captures, b.short_captures);
   EXPECT_EQ(a.unknown_transports, b.unknown_transports);
   EXPECT_EQ(a.unknown_protocols, b.unknown_protocols);
@@ -74,7 +78,8 @@ std::vector<RawPacket> drain(Reader& reader) {
 // damage, an unusable header. Byte-parity must hold on all of them.
 const char* const kPcapFixtures[] = {"tiny_le.pcap", "tiny_be.pcap",
                                      "tiny_nsec.pcap", "tiny_ooo.pcap",
-                                     "trunc.pcap", "badmagic.pcap"};
+                                     "tiny_vlan.pcap", "trunc.pcap",
+                                     "badmagic.pcap"};
 
 // ------------------------------------------- mmap == ifstream readers
 
@@ -487,6 +492,93 @@ TEST(OnepassAnalysis, DeferredSourceIsRejectedByStandardPipelines) {
   EXPECT_EQ(deferred.info().t_end, eager.info().t_end);
   expect_same_result(stream::analyze_columns(deferred, {}),
                      stream::analyze_columns(eager, {}));
+}
+
+// ------------------------------------------------- stdin "-" spooling
+
+std::vector<unsigned char> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<unsigned char>(std::istreambuf_iterator<char>(in),
+                                    std::istreambuf_iterator<char>());
+}
+
+// A pipe carrying a fixture, write end already closed so the spooler
+// sees EOF without a writer thread (the fixtures are far below pipe
+// capacity).
+int fixture_pipe(const std::string& name) {
+  const auto bytes = slurp(fixture(name));
+  int fds[2];
+  EXPECT_EQ(::pipe(fds), 0);
+  EXPECT_EQ(::write(fds[1], bytes.data(), bytes.size()),
+            static_cast<ssize_t>(bytes.size()));
+  ::close(fds[1]);
+  return fds[0];
+}
+
+TEST(SpooledByteSource, PipeMatchesFileAndRewinds) {
+  const int rd = fixture_pipe("tiny_le.pcap");
+  ingest::MmapPcapReader piped(ingest::spooled_byte_source(rd, "<pipe>"),
+                               "<pipe>", ParseMode::kStrict);
+  ::close(rd);
+  ingest::MmapPcapReader file(fixture("tiny_le.pcap"), ParseMode::kStrict);
+  const auto from_file = drain(file);
+  EXPECT_TRUE(same_raw(from_file, drain(piped)));
+  expect_same_stats(file.stats(), piped.stats());
+  // The spool is an anonymous regular file: reset (the prescan rewind)
+  // works even though the original pipe could never seek.
+  piped.reset();
+  EXPECT_TRUE(same_raw(from_file, drain(piped)));
+}
+
+TEST(StdinInput, DashStreamsAPipedPcapThroughTheColumnFactory) {
+  const int rd = fixture_pipe("tiny_le.pcap");
+  const int saved_stdin = ::dup(0);
+  ASSERT_GE(saved_stdin, 0);
+  ASSERT_EQ(::dup2(rd, 0), 0);
+  ::close(rd);
+  std::unique_ptr<ingest::IngestColumnSource> piped;
+  try {
+    piped = ingest::open_packet_column_source(
+        "-", ingest::IngestFormat::kPcap, {});
+  } catch (...) {
+    ::dup2(saved_stdin, 0);
+    ::close(saved_stdin);
+    throw;
+  }
+  ::dup2(saved_stdin, 0);
+  ::close(saved_stdin);
+
+  const auto file = ingest::open_packet_column_source(
+      fixture("tiny_le.pcap"), ingest::IngestFormat::kPcap, {});
+  EXPECT_EQ(piped->info().t_begin, file->info().t_begin);
+  EXPECT_EQ(piped->info().t_end, file->info().t_end);
+  const auto ca = stream::collect_columns(*piped);
+  const auto cb = stream::collect_columns(*file);
+  ASSERT_EQ(ca.size(), cb.size());
+  EXPECT_EQ(ca.time, cb.time);
+  EXPECT_EQ(ca.protocol, cb.protocol);
+  EXPECT_EQ(ca.conn_id, cb.conn_id);
+  EXPECT_EQ(ca.from_originator, cb.from_originator);
+  EXPECT_EQ(ca.payload_bytes, cb.payload_bytes);
+  expect_same_stats(piped->stats(), file->stats());
+}
+
+TEST(StdinInput, RejectsConfigurationsThatNeedANamedFile) {
+  ingest::IngestOptions opt;
+  EXPECT_THROW(
+      ingest::open_packet_source("-", ingest::IngestFormat::kLblPkt, opt),
+      std::invalid_argument);
+  EXPECT_THROW(
+      ingest::open_conn_source("-", ingest::IngestFormat::kLblConn, opt),
+      std::invalid_argument);
+  opt.rows_ingest = true;
+  EXPECT_THROW(
+      ingest::open_packet_source("-", ingest::IngestFormat::kPcap, opt),
+      std::invalid_argument);
+  EXPECT_THROW(
+      ingest::open_packet_column_source("-", ingest::IngestFormat::kPcap,
+                                        opt),
+      std::invalid_argument);
 }
 
 TEST(PcapColumnSource, ResetReproducesIdenticalColumns) {

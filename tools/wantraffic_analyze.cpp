@@ -86,7 +86,8 @@ int usage() {
                "[--poisson-interval SEC]\n"
                "                          [--window-csv FILE]]\n"
                "  either mode: [--ingest-format pcap|lbl-conn|lbl-pkt] "
-               "[--lenient] [--rows-ingest]\n");
+               "[--lenient] [--rows-ingest]\n"
+               "  FILE may be - (stdin) with --ingest-format pcap\n");
   return 2;
 }
 

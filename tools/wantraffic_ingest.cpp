@@ -12,6 +12,10 @@
 //     for lbl-conn) summarized per protocol and optionally written as
 //     connection CSV. FORMAT is pcap, lbl-conn or lbl-pkt.
 //
+// INPUT may be "-" for pcap: stdin is spooled to an anonymous temp file
+// and served through the buffered byte source, so the usual two-pass
+// (prescan + rewind) readers work on piped captures unchanged.
+//
 // Parsing is strict by default: the first structural defect aborts the
 // run. --lenient salvages what the file still holds and prints the
 // error ledger of everything that was dropped or repaired.
@@ -53,7 +57,8 @@ int usage() {
       "                         [--shards N] [--threads N] [--rows-ingest]\n"
       "  wantraffic_ingest conn FORMAT INPUT [--out FILE] [--lenient]\n"
       "                         [--chunk N] [--idle-timeout SEC]\n"
-      "  FORMAT: pcap | lbl-conn | lbl-pkt\n");
+      "  FORMAT: pcap | lbl-conn | lbl-pkt\n"
+      "  INPUT:  a capture path, or - for stdin (pcap only)\n");
   return 2;
 }
 
